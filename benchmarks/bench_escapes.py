@@ -1,0 +1,48 @@
+"""Shipped-quality analysis: ATPG coverage → defective parts per million.
+
+Connects the testability results to shipped quality via the
+Williams-Brown model: Rescue's salvage flow only sees the faults the
+vectors detect, so the achieved coverage (Table 3) bounds the defect
+level of shipped (full or degraded) parts at each technology node.
+"""
+
+from conftest import cache_json, print_table
+
+from repro.yieldmodel import AreaModel, FaultDensityModel
+from repro.yieldmodel.escapes import EscapeModel
+
+
+def test_escape_levels(benchmark):
+    table3 = cache_json("table3")
+    coverage = (
+        table3["rescue"]["coverage_pct"] / 100 if table3 else 0.99
+    )
+    density = FaultDensityModel(stagnation_node_nm=90)
+    areas = AreaModel(growth=0.3)
+    rows = []
+    for node in (90, 65, 32, 18):
+        m = EscapeModel(
+            area_mm2=areas.rescue_core_area(node),
+            density=density.density(node),
+            coverage=coverage,
+        )
+        rows.append((
+            f"{node}nm", f"{m.true_yield:.3f}", f"{coverage:.2%}",
+            f"{m.dppm:,.0f}",
+        ))
+    print_table(
+        "Test escapes: defect level of shipped cores (Williams-Brown)",
+        ("node", "true yield", "fault coverage", "DPPM"),
+        rows,
+    )
+    # Escapes grow as yield falls with scaling.
+    dppms = [float(r[3].replace(",", "")) for r in rows]
+    assert dppms == sorted(dppms)
+
+    benchmark(
+        lambda: EscapeModel(
+            area_mm2=areas.rescue_core_area(18),
+            density=density.density(18),
+            coverage=coverage,
+        ).dppm
+    )

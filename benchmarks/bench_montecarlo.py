@@ -1,0 +1,64 @@
+"""Monte Carlo validation of the analytic YAT machinery.
+
+Samples thousands of chips (clustered faults, per-core configuration
+draw) and compares the average against the closed-form EQ 2/3 evaluation
+the Figure 9 numbers come from.  Agreement here certifies the
+probability bookkeeping; disagreement would invalidate Figure 9.
+"""
+
+from conftest import print_table
+
+from repro.yieldmodel import FaultDensityModel, YatModel
+from repro.yieldmodel.montecarlo import simulate_chips
+from repro.yieldmodel.yat import flat_rescue_ipc
+
+
+def _penalty(cfg):
+    factor = 1.0
+    for dim, cost in (("frontend", 0.82), ("int_backend", 0.78),
+                      ("fp_backend", 0.96), ("iq_int", 0.93),
+                      ("iq_fp", 0.98), ("lsq", 0.94)):
+        if getattr(cfg, dim) == 1:
+            factor *= cost
+    return factor
+
+
+def test_montecarlo_validates_analytic_yat(benchmark):
+    model = YatModel(
+        density=FaultDensityModel(stagnation_node_nm=90),
+        growth=0.3,
+        baseline_ipc=2.05,
+        rescue_ipc=flat_rescue_ipc(2.0, _penalty),
+    )
+    rows = []
+    errors = []
+    for node in (90, 65, 32, 18):
+        analytic = model.evaluate(node).rescue
+        mc = simulate_chips(
+            model.density, node, model.growth,
+            model.baseline_ipc, model.rescue_ipc,
+            n_chips=4000, seed=42,
+        )
+        err = abs(mc.mean_relative_yat - analytic)
+        errors.append(err)
+        rows.append((
+            f"{node}nm", f"{analytic:.4f}", f"{mc.mean_relative_yat:.4f}",
+            f"{err:.4f}",
+            f"{100 * mc.degraded_core_fraction:.1f}%",
+            f"{100 * mc.dead_core_fraction:.1f}%",
+        ))
+    print_table(
+        "Monte Carlo (4000 chips) vs analytic EQ 2/3 relative YAT",
+        ("node", "analytic", "sampled", "|error|", "degraded cores",
+         "dead cores"),
+        rows,
+    )
+    assert max(errors) < 0.02, "sampled and analytic YAT diverge"
+
+    benchmark(
+        lambda: simulate_chips(
+            model.density, 18, model.growth,
+            model.baseline_ipc, model.rescue_ipc,
+            n_chips=300, seed=1,
+        )
+    )

@@ -1,0 +1,47 @@
+"""Table 1 — system parameters.
+
+Prints the baseline machine configuration (the paper's Table 1) and
+benchmarks the simulator's raw cycle throughput on it, so regressions in
+the core model's speed show up here.
+"""
+
+from conftest import print_table
+
+from repro.cpu import Core, MachineConfig
+from repro.cpu.isa import Instr, OpClass
+
+
+def test_table1_parameters(benchmark):
+    cfg = MachineConfig()
+    core = cfg.core
+    rows = [
+        ("issue width", core.width),
+        ("ROB (active list)", core.rob_size),
+        ("int issue queue", core.iq_int_size),
+        ("fp issue queue", core.iq_fp_size),
+        ("load/store queue", core.lsq_size),
+        ("memory ports", core.mem_ports),
+        ("int ALUs / muls", f"{core.int_alus} / {core.int_muls}"),
+        ("fp adds / muls", f"{core.fp_adds} / {core.fp_muls}"),
+        ("branch predictor", "8KB hybrid (bimodal+gshare+chooser)"),
+        ("BTB", f"{core.btb_entries} entries, {core.btb_assoc}-way"),
+        ("mispredict penalty", f"{core.mispredict_penalty} cycles"),
+        ("L1 D-cache",
+         f"{core.l1d_kb}KB {core.l1d_assoc}-way {core.l1d_block}B "
+         f"{core.l1d_latency}cyc"),
+        ("L2 cache",
+         f"{core.l2_kb}KB {core.l2_assoc}-way {core.l2_block}B "
+         f"{core.l2_latency}cyc"),
+        ("memory latency", f"{core.mem_latency} cycles"),
+    ]
+    print_table("Table 1: system parameters", ("parameter", "value"), rows)
+
+    def simulate_slice():
+        trace = [
+            Instr(seq=i, op=OpClass.IALU, pc=0x1000 + 4 * i, deps=(2,))
+            for i in range(2_000)
+        ]
+        return Core(cfg, iter(trace)).run(2_000).cycles
+
+    cycles = benchmark(simulate_slice)
+    assert cycles > 0

@@ -1,0 +1,57 @@
+"""Table 2 — total areas and relative component areas.
+
+Regenerates the area breakdown of the Rescue core (component shares and
+the 90nm totals) and shows how the per-group fault-target areas scale to
+the Figure 9 nodes.
+"""
+
+from conftest import print_table
+
+from repro.yieldmodel import AreaModel, TABLE2_FRACTIONS
+from repro.yieldmodel.area import (
+    BASELINE_CORE_AREA_90NM,
+    RESCUE_CORE_AREA_90NM,
+)
+
+
+def test_table2_areas(benchmark):
+    rows = [
+        (name, f"{frac:.0%}")
+        for name, frac in sorted(
+            TABLE2_FRACTIONS.items(), key=lambda kv: -kv[1]
+        )
+    ]
+    rows.append(("baseline total area", f"{BASELINE_CORE_AREA_90NM:.0f} mm^2"))
+    rows.append(("Rescue total area", f"{RESCUE_CORE_AREA_90NM:.0f} mm^2"))
+    print_table(
+        "Table 2: component relative areas (Rescue core)",
+        ("component", "share"),
+        rows,
+    )
+
+    model = AreaModel(growth=0.3)
+    node_rows = []
+    for node in (90, 65, 32, 18):
+        groups = model.group_areas(node)
+        node_rows.append((
+            f"{node}nm",
+            f"{model.rescue_core_area(node):.1f}",
+            f"{model.baseline_core_area(node):.1f}",
+            f"{groups['chipkill']:.2f}",
+            f"{groups['int_backend']:.2f}",
+            f"{groups['fp_backend']:.2f}",
+        ))
+    print_table(
+        "Core and group areas by node (mm^2, 30% growth)",
+        ("node", "rescue core", "baseline core", "chipkill",
+         "int-be group", "fp-be group"),
+        node_rows,
+    )
+
+    result = benchmark(lambda: AreaModel(growth=0.3).group_areas(18))
+    assert abs(
+        result["chipkill"] + 2 * sum(
+            v for k, v in result.items() if k != "chipkill"
+        )
+        - AreaModel(growth=0.3).rescue_core_area(18)
+    ) < 1e-9

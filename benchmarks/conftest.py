@@ -1,0 +1,78 @@
+"""Shared infrastructure for the experiment-regeneration benchmarks.
+
+Each ``bench_*.py`` file regenerates one of the paper's tables or figures
+(see DESIGN.md's per-experiment index).  Heavy results are cached under
+``.rescue_cache`` so repeated runs are fast; delete that directory (or set
+``RESCUE_CACHE_DIR``) to force recomputation.
+
+Environment knobs:
+
+- ``RESCUE_BENCH_INSTRUCTIONS`` — measured instructions per simulation
+  (default 40000),
+- ``RESCUE_BENCH_WARMUP`` — cache/predictor warmup instructions
+  (default 12000),
+- ``RESCUE_FULL`` — set to 1 to simulate all 64 degraded configurations
+  instead of composing multi-degradation IPCs from the single-degradation
+  ratios,
+- ``RESCUE_FAULTS`` — faults inserted in the isolation experiment
+  (default 600; the paper's full experiment used 6000).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+
+def env_int(name: str, default: int) -> int:
+    try:
+        return int(os.environ.get(name, default))
+    except ValueError:
+        return default
+
+
+BENCH_INSTRUCTIONS = env_int("RESCUE_BENCH_INSTRUCTIONS", 40_000)
+BENCH_WARMUP = env_int("RESCUE_BENCH_WARMUP", 12_000)
+FULL_SWEEP = os.environ.get("RESCUE_FULL", "") not in ("", "0")
+N_FAULTS = env_int("RESCUE_FAULTS", 600)
+
+CACHE_DIR = Path(os.environ.get("RESCUE_CACHE_DIR", ".rescue_cache"))
+
+
+def cache_json(name: str):
+    """Load a cached JSON blob by name, or None."""
+    path = CACHE_DIR / f"{name}.json"
+    if path.exists():
+        try:
+            return json.loads(path.read_text())
+        except (json.JSONDecodeError, OSError):
+            return None
+    return None
+
+
+def save_json(name: str, payload) -> None:
+    CACHE_DIR.mkdir(parents=True, exist_ok=True)
+    (CACHE_DIR / f"{name}.json").write_text(json.dumps(payload, indent=1))
+
+
+def print_table(title: str, headers, rows) -> None:
+    """Fixed-width table printer for the paper-style outputs."""
+    widths = [
+        max(len(str(h)), *(len(str(r[i])) for r in rows)) if rows else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    print(f"\n=== {title} ===")
+    print("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    print("  ".join("-" * w for w in widths))
+    for r in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(r, widths)))
+
+
+@pytest.fixture(scope="session")
+def ipc_cache():
+    from repro.cpu.degraded import IpcCache
+
+    return IpcCache(CACHE_DIR / "ipc_cache.json")

@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""Export the gate-level pipelines as structural Verilog.
+
+Writes ``baseline_core.v`` and ``rescue_core.v`` (scan chains stitched,
+component labels preserved as comments) so the models can be fed to an
+external synthesis / commercial ATPG flow — the reproduction's netlists
+are ordinary design artifacts, not a private format.
+
+Run:  python examples/export_verilog.py [outdir]
+"""
+
+import sys
+from pathlib import Path
+
+from repro.netlist.verilog import to_verilog
+from repro.rtl import RtlParams, build_baseline_rtl, build_rescue_rtl
+from repro.scan import insert_scan
+
+
+def main() -> None:
+    outdir = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("verilog_out")
+    outdir.mkdir(parents=True, exist_ok=True)
+    for name, builder in (
+        ("baseline_core", build_baseline_rtl),
+        ("rescue_core", build_rescue_rtl),
+    ):
+        model = builder(RtlParams())
+        insert_scan(model.netlist)
+        text = to_verilog(model.netlist, module_name=name)
+        path = outdir / f"{name}.v"
+        path.write_text(text)
+        stats = model.netlist.stats()
+        print(f"wrote {path}  ({stats['gates']} gates, "
+              f"{stats['flops']} scan flops, "
+              f"{len(text.splitlines())} lines)")
+    print("\nEach flop's always-block carries its ICI component label; a")
+    print("commercial ATPG reading these files sees the same isolation")
+    print("structure the Python flow exploits.")
+
+
+if __name__ == "__main__":
+    main()

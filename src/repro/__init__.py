@@ -1,0 +1,19 @@
+"""Rescue: a testable, defect-tolerant superscalar microarchitecture.
+
+Python reproduction of Schuchman & Vijaykumar, ISCA 2005.  Subpackages:
+
+- :mod:`repro.core` — the paper's contribution: intra-cycle logic
+  independence (ICI), its transformations, fault map-out, and isolation;
+- :mod:`repro.netlist`, :mod:`repro.scan`, :mod:`repro.atpg` — the
+  gate-level test substrate (netlists, scan chains, PODEM ATPG, fault
+  simulation, structural diagnosis);
+- :mod:`repro.rtl` — gate-level baseline and Rescue pipeline models;
+- :mod:`repro.cpu`, :mod:`repro.workloads` — the cycle-level performance
+  simulator and synthetic SPEC2000 traces;
+- :mod:`repro.yieldmodel` — ITRS defect scaling, areas, clustered yield,
+  and yield-adjusted throughput.
+
+See README.md for a tour and DESIGN.md for the experiment index.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,109 @@
+"""Structural equivalence collapsing of stuck-at faults.
+
+Two faults are equivalent when every test for one detects the other; the
+classic local rules suffice for gate-level collapsing:
+
+- AND:  SA0 on any input  ≡ SA0 on the output
+- NAND: SA0 on any input  ≡ SA1 on the output
+- OR:   SA1 on any input  ≡ SA1 on the output
+- NOR:  SA1 on any input  ≡ SA0 on the output
+- NOT:  input SAv ≡ output SA(1-v);  BUF: input SAv ≡ output SAv
+
+Collapsing shrinks the target list the deterministic ATPG works through —
+the same reduction a commercial tool reports — without changing coverage.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.netlist.faults import StuckAt
+from repro.netlist.gates import GateType
+from repro.netlist.netlist import Netlist
+
+# (site-kind payload..., stuck value) — hashable identity of a fault.
+_Key = Tuple
+
+
+def _key(f: StuckAt) -> _Key:
+    return (f.net, f.gate, f.pin, f.flop, f.value)
+
+
+class _UnionFind:
+    def __init__(self) -> None:
+        self.parent: Dict[_Key, _Key] = {}
+
+    def find(self, k: _Key) -> _Key:
+        self.parent.setdefault(k, k)
+        root = k
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[k] != root:
+            self.parent[k], k = root, self.parent[k]
+        return root
+
+    def union(self, a: _Key, b: _Key) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self.parent[ra] = rb
+
+
+# Controlling input value and resulting output value per gate type.
+_CONTROL = {
+    GateType.AND: (0, 0),
+    GateType.NAND: (0, 1),
+    GateType.OR: (1, 1),
+    GateType.NOR: (1, 0),
+}
+
+
+def collapse_faults(
+    netlist: Netlist, faults: List[StuckAt]
+) -> List[StuckAt]:
+    """Return one representative per structural equivalence class."""
+    by_key: Dict[_Key, StuckAt] = {_key(f): f for f in faults}
+    uf = _UnionFind()
+
+    reader_count: Dict[int, int] = {}
+    for g in netlist.gates:
+        for src in g.inputs:
+            reader_count[src] = reader_count.get(src, 0) + 1
+    for f in netlist.flops:
+        reader_count[f.d_net] = reader_count.get(f.d_net, 0) + 1
+    for p in netlist.primary_outputs:
+        reader_count[p] = reader_count.get(p, 0) + 1
+
+    def pin_fault_key(gate_id: int, pin: int, src: int, value: int) -> _Key:
+        """Key of the fault on a pin: the branch fault when the net fans
+        out, otherwise the stem fault of the driving net."""
+        if reader_count.get(src, 0) > 1:
+            return (src, gate_id, pin, None, value)
+        return (src, None, None, None, value)
+
+    for g in netlist.gates:
+        out0 = (g.output, None, None, None, 0)
+        out1 = (g.output, None, None, None, 1)
+        if g.gtype in _CONTROL:
+            cin, cout = _CONTROL[g.gtype]
+            out_key = out0 if cout == 0 else out1
+            for pin, src in enumerate(g.inputs):
+                uf.union(pin_fault_key(g.gid, pin, src, cin), out_key)
+        elif g.gtype is GateType.NOT:
+            src = g.inputs[0]
+            uf.union(pin_fault_key(g.gid, 0, src, 0), out1)
+            uf.union(pin_fault_key(g.gid, 0, src, 1), out0)
+        elif g.gtype is GateType.BUF:
+            src = g.inputs[0]
+            uf.union(pin_fault_key(g.gid, 0, src, 0), out0)
+            uf.union(pin_fault_key(g.gid, 0, src, 1), out1)
+        # XOR/XNOR/MUX2 have no controlling value: no local equivalence.
+
+    groups: Dict[_Key, List[StuckAt]] = {}
+    for f in faults:
+        groups.setdefault(uf.find(_key(f)), []).append(f)
+
+    def rep_rank(f: StuckAt) -> Tuple[int, _Key]:
+        # Prefer stems (observable farthest downstream) as representatives.
+        return (0 if f.is_stem else 1, _key(f))
+
+    return [min(g, key=rep_rank) for g in groups.values()]

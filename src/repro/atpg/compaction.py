@@ -1,0 +1,90 @@
+"""Static test-set compaction.
+
+Production ATPG compacts its vector set because tester time is money —
+and Table 3's vector counts reflect a compacted set.  This module
+implements classic reverse-order compaction on full detection data: grade
+every (fault, pattern) pair once, then walk the patterns newest-to-oldest
+dropping any whose detected faults are all covered by the patterns kept.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.netlist.faults import StuckAt
+from repro.netlist.netlist import Netlist
+from repro.netlist.simulate import PackedSimulator
+
+
+def detection_matrix(
+    netlist: Netlist,
+    faults: Sequence[StuckAt],
+    patterns: np.ndarray,
+    sim: Optional[PackedSimulator] = None,
+) -> Dict[StuckAt, np.ndarray]:
+    """Per-fault boolean vectors: which patterns detect the fault."""
+    sim = sim or PackedSimulator(netlist)
+    good_vals = sim.good_values(patterns)
+    good_po, good_state = sim.capture(good_vals)
+    out: Dict[StuckAt, np.ndarray] = {}
+    npat = patterns.shape[0]
+    for fault in faults:
+        vec = _detection_vector(
+            sim, good_vals, good_po, good_state, fault, npat
+        )
+        out[fault] = vec
+    return out
+
+
+def _detection_vector(sim, good_vals, good_po, good_state, fault, npat):
+    nl = sim.netlist
+    delta = sim.faulty_values(good_vals, fault)
+    mismatch = np.zeros(npat, dtype=bool)
+    if fault.flop is not None:
+        f = nl.flops[fault.flop]
+        return good_vals[f.d_net] != bool(fault.value)
+    po_index = {net: i for i, net in enumerate(nl.primary_outputs)}
+    d_lookup: Dict[int, List[int]] = {}
+    for f in nl.flops:
+        d_lookup.setdefault(f.d_net, []).append(f.fid)
+    for net, vals in delta.items():
+        col = po_index.get(net)
+        if col is not None:
+            mismatch |= vals != good_po[:, col]
+        for fid in d_lookup.get(net, []):
+            mismatch |= vals != good_state[:, fid]
+    return mismatch
+
+
+def reverse_order_compaction(
+    netlist: Netlist,
+    patterns: np.ndarray,
+    faults: Sequence[StuckAt],
+    sim: Optional[PackedSimulator] = None,
+) -> np.ndarray:
+    """Drop patterns whose detections are covered by the rest.
+
+    Coverage of the given fault list is preserved exactly; the newest
+    patterns (usually the most specialized, from the deterministic phase)
+    are considered for dropping first, the classic heuristic.
+
+    Returns the compacted pattern matrix (possibly the input unchanged).
+    """
+    if patterns.shape[0] <= 1:
+        return patterns
+    matrix = detection_matrix(netlist, faults, patterns, sim=sim)
+    detected = [f for f, vec in matrix.items() if vec.any()]
+    if not detected:
+        return patterns[:0]
+    stack = np.stack([matrix[f] for f in detected], axis=0)  # (F, P)
+    keep = np.ones(patterns.shape[0], dtype=bool)
+    counts = stack.sum(axis=1)  # detections per fault under kept set
+    for p in range(patterns.shape[0] - 1, -1, -1):
+        col = stack[:, p]
+        # Droppable iff no fault relies on pattern p alone.
+        if not ((counts == 1) & col).any():
+            keep[p] = False
+            counts = counts - col
+    return patterns[keep]

@@ -1,0 +1,67 @@
+"""Construction of the single stuck-at fault universe.
+
+The conventional universe for a gate-level design (paper Section 2):
+
+- a stem fault pair (SA0/SA1) on every driven net, primary input, and
+  flop Q output;
+- a branch fault pair on every gate (and flop D) input pin whose driving
+  net fans out to more than one reader — single-fanout pins are identical
+  to their stems and are left to collapsing.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.netlist.faults import StuckAt
+from repro.netlist.netlist import Netlist
+
+
+def full_fault_universe(netlist: Netlist) -> List[StuckAt]:
+    """Enumerate the standard stuck-at fault universe of ``netlist``."""
+    faults: List[StuckAt] = []
+    # Stems: every net that carries a signal somebody could read.
+    stem_nets = set(netlist.primary_inputs)
+    stem_nets.update(f.q_net for f in netlist.flops)
+    stem_nets.update(g.output for g in netlist.gates)
+    for net in sorted(stem_nets):
+        faults.append(StuckAt(net=net, value=0))
+        faults.append(StuckAt(net=net, value=1))
+    # Branches: pins fed by nets with fanout > 1.
+    reader_count = {net: 0 for net in range(netlist.n_nets)}
+    for g in netlist.gates:
+        for src in g.inputs:
+            reader_count[src] += 1
+    for f in netlist.flops:
+        reader_count[f.d_net] += 1
+    for p in netlist.primary_outputs:
+        reader_count[p] += 1
+    for g in netlist.gates:
+        for pin, src in enumerate(g.inputs):
+            if reader_count[src] > 1:
+                faults.append(StuckAt(net=src, value=0, gate=g.gid, pin=pin))
+                faults.append(StuckAt(net=src, value=1, gate=g.gid, pin=pin))
+    for f in netlist.flops:
+        if reader_count[f.d_net] > 1:
+            faults.append(StuckAt(net=f.d_net, value=0, flop=f.fid))
+            faults.append(StuckAt(net=f.d_net, value=1, flop=f.fid))
+    return faults
+
+
+def component_of_fault(netlist: Netlist, fault: StuckAt) -> str:
+    """ICI component a fault physically sits in.
+
+    Branch faults belong to the reading gate's component; stem faults to
+    the driving gate's (or, for PIs/flop outputs, the flop's) component.
+    """
+    if fault.gate is not None:
+        return netlist.gates[fault.gate].component
+    if fault.flop is not None:
+        return netlist.flops[fault.flop].component
+    gid = netlist.driver_of(fault.net)
+    if gid is not None:
+        return netlist.gates[gid].component
+    for f in netlist.flops:
+        if f.q_net == fault.net:
+            return f.component
+    return ""  # primary input — outside any component

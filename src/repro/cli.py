@@ -1,0 +1,210 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Thin wrappers over the library for the common flows:
+
+- ``repro isolate`` — build the gate-level Rescue model, run ATPG, inject
+  random faults, and report isolation accuracy (Section 6.1);
+- ``repro ipc`` — baseline-vs-Rescue IPC for chosen benchmarks (Figure 8);
+- ``repro yat`` — relative YAT of no-redundancy / core-sparing / Rescue
+  chips for a scenario (Figure 9, analytic IPC penalties for speed);
+- ``repro graph`` — print the ICI report of the baseline and Rescue
+  component graphs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _cmd_isolate(args: argparse.Namespace) -> int:
+    from repro.rtl import RtlParams, build_baseline_rtl, build_rescue_rtl
+    from repro.rtl.experiment import generate_tests, isolation_experiment
+
+    params = RtlParams.tiny() if args.tiny else RtlParams()
+    builder = build_baseline_rtl if args.baseline else build_rescue_rtl
+    print(f"building {'baseline' if args.baseline else 'Rescue'} gate-level "
+          f"model ({'tiny' if args.tiny else 'default'} size)...")
+    model = builder(params)
+    print(f"  {model.netlist.stats()}")
+    setup = generate_tests(model, seed=args.seed)
+    print(f"  ATPG: {setup.atpg.summary()}")
+    stats = isolation_experiment(setup, n_faults=args.faults, seed=args.seed)
+    print(stats.summary())
+    return 0 if stats.correct_rate == 1.0 or args.baseline else 1
+
+
+def _cmd_ipc(args: argparse.Namespace) -> int:
+    from repro.cpu import Core, MachineConfig
+    from repro.workloads import PROFILES, generate_trace, profile
+
+    names = args.benchmarks or [p.name for p in PROFILES]
+    total = args.instructions + args.warmup
+    deltas = []
+    print(f"{'benchmark':10s} {'base':>6s} {'rescue':>7s} {'delta':>7s}")
+    for name in names:
+        prof = profile(name)
+        trace = generate_trace(prof, total)
+        base = Core(MachineConfig(rescue=False), iter(trace)).run(
+            args.instructions, warmup=args.warmup
+        )
+        resc = Core(MachineConfig(rescue=True), iter(trace)).run(
+            args.instructions, warmup=args.warmup
+        )
+        delta = 100 * (1 - resc.ipc / base.ipc) if base.ipc else 0.0
+        deltas.append(delta)
+        print(f"{name:10s} {base.ipc:6.2f} {resc.ipc:7.2f} {delta:+6.1f}%")
+    print(f"{'average':10s} {'':6s} {'':7s} "
+          f"{sum(deltas) / len(deltas):+6.1f}%")
+    return 0
+
+
+def _cmd_yat(args: argparse.Namespace) -> int:
+    from repro.yieldmodel import FaultDensityModel, YatModel, cores_per_chip
+    from repro.yieldmodel.yat import flat_rescue_ipc
+
+    def penalty(cfg):
+        factor = 1.0
+        for dim, cost in (("frontend", 0.82), ("int_backend", 0.78),
+                          ("fp_backend", 0.96), ("iq_int", 0.93),
+                          ("iq_fp", 0.98), ("lsq", 0.94)):
+            if getattr(cfg, dim) == 1:
+                factor *= cost
+        return factor
+
+    anchor = (90.0, 1) if args.stagnation == 90 else (65.0, 2)
+    model = YatModel(
+        density=FaultDensityModel(stagnation_node_nm=args.stagnation),
+        growth=args.growth / 100,
+        baseline_ipc=2.05,
+        rescue_ipc=flat_rescue_ipc(2.0, penalty),
+        anchor=anchor,
+    )
+    print(f"{'node':>6s} {'cores':>5s} {'none':>6s} {'CS':>6s} "
+          f"{'Rescue':>7s} {'gain':>7s}")
+    for node in (90, 65, 45, 32, 22, 18):
+        r = model.evaluate(node)
+        k = cores_per_chip(node, args.growth / 100,
+                           anchor_node_nm=anchor[0], anchor_cores=anchor[1])
+        print(f"{node:>5}n {k:5d} {r.no_redundancy:6.3f} "
+              f"{r.core_sparing:6.3f} {r.rescue:7.3f} "
+              f"{100 * r.rescue_over_cs:+6.1f}%")
+    return 0
+
+
+def _cmd_graph(args: argparse.Namespace) -> int:
+    from repro.core import (
+        build_baseline_graph,
+        build_rescue_graph,
+        check_granularity,
+        rescue_map_out_groups,
+    )
+
+    baseline = build_baseline_graph(width=args.width)
+    print("baseline:", check_granularity(
+        baseline, rescue_map_out_groups(args.width)
+    ).describe())
+    rescue, records = build_rescue_graph(width=args.width)
+    print("rescue:  ", check_granularity(rescue).describe())
+    if args.verbose:
+        print("\ntransformation log:")
+        for line in rescue.transform_log:
+            print(f"  {line}")
+    return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.core import check_netlist_ici
+    from repro.rtl import RtlParams, build_baseline_rtl, build_rescue_rtl
+
+    params = RtlParams.tiny() if args.tiny else RtlParams()
+    builder = build_baseline_rtl if args.baseline else build_rescue_rtl
+    model = builder(params)
+    report = check_netlist_ici(model.netlist, exempt_blocks=["chipkill"])
+    print(report.describe())
+    return 0 if report.satisfied else 1
+
+
+def _cmd_verilog(args: argparse.Namespace) -> int:
+    from repro.netlist.verilog import to_verilog
+    from repro.rtl import RtlParams, build_baseline_rtl, build_rescue_rtl
+    from repro.scan import insert_scan
+
+    params = RtlParams.tiny() if args.tiny else RtlParams()
+    builder = build_baseline_rtl if args.baseline else build_rescue_rtl
+    model = builder(params)
+    insert_scan(model.netlist)
+    name = "baseline_core" if args.baseline else "rescue_core"
+    text = to_verilog(model.netlist, module_name=name)
+    if args.output:
+        with open(args.output, "w") as f:
+            f.write(text)
+        print(f"wrote {args.output} ({len(text.splitlines())} lines)")
+    else:
+        print(text)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the ``repro`` argument parser (one sub-command per flow)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Rescue (ISCA 2005) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("isolate", help="fault-isolation experiment (§6.1)")
+    p.add_argument("--faults", type=int, default=300)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--tiny", action="store_true",
+                   help="use the small model (fast)")
+    p.add_argument("--baseline", action="store_true",
+                   help="run on the non-ICI baseline instead")
+    p.set_defaults(func=_cmd_isolate)
+
+    p = sub.add_parser("ipc", help="baseline vs Rescue IPC (Figure 8)")
+    p.add_argument("benchmarks", nargs="*",
+                   help="benchmark names (default: all 23)")
+    p.add_argument("--instructions", type=int, default=30_000)
+    p.add_argument("--warmup", type=int, default=10_000)
+    p.set_defaults(func=_cmd_ipc)
+
+    p = sub.add_parser("yat", help="yield-adjusted throughput (Figure 9)")
+    p.add_argument("--growth", type=int, default=30,
+                   help="core growth percent per generation")
+    p.add_argument("--stagnation", type=int, default=90, choices=(90, 65),
+                   help="node where PWP stops improving")
+    p.set_defaults(func=_cmd_yat)
+
+    p = sub.add_parser("graph", help="ICI report of the component graphs")
+    p.add_argument("--width", type=int, default=4)
+    p.add_argument("-v", "--verbose", action="store_true")
+    p.set_defaults(func=_cmd_graph)
+
+    p = sub.add_parser(
+        "lint", help="gate-level ICI check of a pipeline model"
+    )
+    p.add_argument("--tiny", action="store_true")
+    p.add_argument("--baseline", action="store_true")
+    p.set_defaults(func=_cmd_lint)
+
+    p = sub.add_parser(
+        "verilog", help="export a pipeline model as structural Verilog"
+    )
+    p.add_argument("--tiny", action="store_true")
+    p.add_argument("--baseline", action="store_true")
+    p.add_argument("-o", "--output", help="output file (default: stdout)")
+    p.set_defaults(func=_cmd_verilog)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,318 @@
+"""Component-level model of the Rescue pipeline (paper Section 4).
+
+:func:`build_baseline_graph` captures the intra-cycle communication of a
+conventional 4-wide out-of-order superscalar — including every ICI
+violation the paper calls out (compacting issue queue, selection-tree
+roots, shared rename table, shared LSQ insertion).
+
+:func:`build_rescue_graph` applies the paper's per-stage transformations,
+in the paper's order, through the generic transform API:
+
+=============  ===================================================
+Stage          Transformation (paper section)
+=============  ===================================================
+fetch          routing stage with privatized mux controls (4.2)
+decode         none needed — already ICI-compliant (4.3)
+rename         partial privatization of the map table into two
+               half-ported copies + cycle splitting of the table
+               read (4.4)
+issue          cycle splitting of inter-segment compaction,
+               dependence rotation of the selection-tree root,
+               privatization of broadcast/replay logic and of the
+               post-issue routing muxes (4.1)
+register read  two half-ported register-file copies (4.5)
+execute        none needed — forwarding is inter-cycle (4.6)
+memory         privatized LSQ insertion; search trees already
+               cycle-split (4.7)
+writeback      selectively disabled write ports (4.8)
+commit         selectively disabled write ports (4.9)
+=============  ===================================================
+
+The resulting graph passes :func:`repro.core.checker.check_granularity`
+against the half-pipeline map-out blocks; the baseline does not.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import dataclasses
+
+from repro.core.component import ComponentGraph, Edge, EdgeKind
+from repro.core.transforms import (
+    TransformRecord,
+    cycle_split,
+    dependence_rotation,
+    privatize,
+)
+
+
+def _rename_component(g: ComponentGraph, old: str, new: str) -> None:
+    """Rename a component and every edge touching it, in place."""
+    comp = g.components.pop(old)
+    g.components[new] = dataclasses.replace(comp, name=new)
+    g.edges = {
+        Edge(
+            new if e.src == old else e.src,
+            new if e.dst == old else e.dst,
+            e.kind,
+        )
+        for e in g.edges
+    }
+
+#: Issue queues modeled (the paper separates integer and floating point).
+_QUEUES = ("iq_int", "iq_fp")
+
+
+def rescue_map_out_groups(width: int = 4) -> Dict[str, str]:
+    """Map-out block of every component, at the fault-map granularity.
+
+    Blocks: ``frontend<g>`` and ``backend<g>`` for g in {0, 1} (two ways
+    per group, matching the yield model's fault-equivalent groups),
+    ``<queue>_old`` / ``<queue>_new`` halves, ``lsq<h>`` halves, and
+    ``chipkill`` for the non-redundant logic.
+    """
+    groups: Dict[str, str] = {
+        "fetch_pc": "chipkill",
+        "commit": "chipkill",
+    }
+    for way in range(width):
+        g = way // 2
+        groups[f"route_fetch{way}"] = f"frontend{g}"
+        groups[f"decode{way}"] = f"frontend{g}"
+        groups[f"rename{way}"] = f"frontend{g}"
+        groups[f"route_issue{way}"] = f"backend{g}"
+        groups[f"exec{way}"] = f"backend{g}"
+    for half in range(2):
+        groups[f"rename_table#{half}"] = f"frontend{half}"
+        groups[f"regfile#{half}"] = f"backend{half}"
+        groups[f"lsq_half{half}"] = f"lsq{half}"
+        groups[f"lsq_insert#{half}"] = f"lsq{half}"
+        # Sub-trees searching half h in the first cycle lump with the half;
+        # tree roots (second cycle) belong to the backend way using them.
+        groups[f"lsq_treeA_sub{half}"] = f"lsq{half}"
+        groups[f"lsq_treeB_sub{half}"] = f"lsq{half}"
+        groups[f"lsq_treeA_root"] = "backend0"
+        groups[f"lsq_treeB_root"] = "backend1"
+    for q in _QUEUES:
+        for half, tag in enumerate(("old", "new")):
+            groups[f"{q}_{tag}"] = f"{q}_{tag}"
+            groups[f"{q}_sel_{tag}"] = f"{q}_{tag}"
+            groups[f"{q}_bcast#{half}"] = f"{q}_{tag}"
+    # Pre-transformation (baseline-only) components map to themselves so
+    # baseline violation reports are readable.
+    groups["rename_table"] = "rename_table"
+    groups["lsq_insert"] = "lsq_insert"
+    for q in _QUEUES:
+        groups[f"{q}_root"] = f"{q}_root"
+    return groups
+
+
+def build_baseline_graph(width: int = 4) -> ComponentGraph:
+    """Intra-cycle communication graph of the conventional superscalar."""
+    g = ComponentGraph("baseline")
+    g.add("fetch_pc", kind="chipkill")
+    g.add("icache", kind="memory", area=4.0)
+    for way in range(width):
+        g.add(f"decode{way}")
+        g.add(f"rename{way}")
+        g.add(f"exec{way}", area=2.0)
+    g.add("rename_table", area=2.0)
+    g.add("regfile", area=2.0)
+    g.add("commit", kind="chipkill")
+
+    # Frontend flow: i-cache feeds decoders across the fetch latch; decode
+    # is parallel per way (ICI-compliant, Section 4.3).
+    for way in range(width):
+        g.connect_latched("icache", f"decode{way}")
+        g.connect_latched(f"decode{way}", f"rename{way}")
+    g.connect_latched("fetch_pc", "icache")
+
+    # Rename: the single map table is read by every renamer in-cycle — the
+    # Figure 3a violation (Section 4.4).  Hazard fixing is redundant and
+    # parallel, so renamers do not read each other.
+    for way in range(width):
+        g.connect("rename_table", f"rename{way}", EdgeKind.COMB)
+        g.connect_latched(f"rename{way}", "rename_table")  # writes at end
+
+    # Issue queues: compacting halves with in-cycle inter-segment
+    # compaction (violations 1 and 2 of Section 4.1.1) and a selection
+    # root reading both halves' sub-trees (violation 3).
+    for q in _QUEUES:
+        g.add(f"{q}_old")
+        g.add(f"{q}_new")
+        g.add(f"{q}_sel_old")
+        g.add(f"{q}_sel_new")
+        g.add(f"{q}_root")
+        g.connect(f"{q}_new", f"{q}_old", EdgeKind.COMB)  # compaction moves
+        g.connect(f"{q}_old", f"{q}_new", EdgeKind.COMB)  # free-slot counts
+        g.connect(f"{q}_old", f"{q}_sel_old", EdgeKind.COMB)
+        g.connect(f"{q}_new", f"{q}_sel_new", EdgeKind.COMB)
+        g.connect(f"{q}_sel_old", f"{q}_root", EdgeKind.COMB)
+        g.connect(f"{q}_sel_new", f"{q}_root", EdgeKind.COMB)
+        # Selected instructions latch at cycle end; broadcast next cycle.
+        g.connect_latched(f"{q}_root", f"{q}_old")
+        g.connect_latched(f"{q}_root", f"{q}_new")
+        for way in range(width):
+            g.connect_latched(f"rename{way}", f"{q}_new")
+            g.connect_latched(f"{q}_root", f"exec{way}")
+
+    # Register read and execute: reads/forwards cross latches (4.5, 4.6).
+    for way in range(width):
+        g.connect_latched("regfile", f"exec{way}")
+        g.connect_latched(f"exec{way}", "regfile")
+        g.connect_latched(f"exec{way}", "commit")
+        for other in range(width):
+            if other != way:
+                g.connect_latched(f"exec{way}", f"exec{other}")  # forwarding
+
+    # LSQ: halves, two pipelined search trees, single insertion logic that
+    # writes both halves in-cycle (the Section 4.7 violation).
+    g.add("lsq_insert")
+    for half in range(2):
+        g.add(f"lsq_half{half}")
+        g.connect("lsq_insert", f"lsq_half{half}", EdgeKind.COMB)
+    for tree, root_way in (("A", 0), ("B", 1)):
+        g.add(f"lsq_tree{tree}_root")
+        for half in range(2):
+            g.add(f"lsq_tree{tree}_sub{half}")
+            g.connect(
+                f"lsq_half{half}", f"lsq_tree{tree}_sub{half}", EdgeKind.COMB
+            )
+            # Sub-tree results latch before the root (search is pipelined
+            # across two cycles like an L1 access).
+            g.connect_latched(
+                f"lsq_tree{tree}_sub{half}", f"lsq_tree{tree}_root"
+            )
+        g.connect_latched(f"lsq_tree{tree}_root", f"exec{root_way}")
+    for way in range(width):
+        g.connect_latched(f"exec{way}", "lsq_insert")
+
+    return g
+
+
+def build_rescue_graph(
+    width: int = 4,
+) -> Tuple[ComponentGraph, List[TransformRecord]]:
+    """Apply the paper's Section 4 transformations to the baseline.
+
+    Returns the transformed graph and the list of transform records (their
+    summed costs feed the area and latency accounting).
+    """
+    if width % 2:
+        raise ValueError("Rescue models an even-width machine")
+    g = build_baseline_graph(width)
+    records: List[TransformRecord] = []
+
+    def apply(result: Tuple[ComponentGraph, TransformRecord]) -> None:
+        nonlocal g
+        g, rec = result
+        records.append(rec)
+
+    # ---- Fetch (4.2): routing stage after fetch, one privatized mux
+    # control per frontend way.  New stage => +1 frontend latency.
+    for way in range(width):
+        g.add(f"route_fetch{way}")
+        g.connect_latched("icache", f"route_fetch{way}")
+        g.connect_latched(f"route_fetch{way}", f"decode{way}")
+        # The old direct i-cache -> decode path is replaced.
+        g.edges = {
+            e
+            for e in g.edges
+            if not (e.src == "icache" and e.dst == f"decode{way}")
+        }
+    g.extra_latency["frontend_route"] = 1
+    g.transform_log.append("fetch routing stage added (+1 frontend stage)")
+
+    # ---- Rename (4.4): partial privatization of the map table into two
+    # half-ported copies (50% more total area), then cycle splitting of
+    # the table read (one extra frontend stage; the three sibling edges
+    # ride the same latch).
+    halves = [
+        [f"rename{way}" for way in range(width // 2)],
+        [f"rename{way}" for way in range(width // 2, width)],
+    ]
+    apply(privatize(g, "rename_table", halves, copy_area_factor=0.75))
+    first = True
+    for half, readers in enumerate(halves):
+        for reader in readers:
+            apply(
+                cycle_split(
+                    g,
+                    f"rename_table#{half}",
+                    reader,
+                    adds_pipeline_stage=first,
+                )
+            )
+            first = False
+
+    # ---- Issue (4.1): the transformation sequence of Section 4.1.2.
+    # (1) + (2): cycle-split inter-segment compaction in both directions
+    # for every queue first (the temporary latch costs no pipeline depth);
+    # the rotation's loop check needs the whole graph free of intra-cycle
+    # cycles.
+    for q in _QUEUES:
+        apply(cycle_split(g, f"{q}_new", f"{q}_old", adds_pipeline_stage=False))
+        apply(cycle_split(g, f"{q}_old", f"{q}_new", adds_pipeline_stage=False))
+    for q in _QUEUES:
+        # (3): rotate the selection-tree root around the issue latch,
+        # locally to the wakeup/select loop.  The root now reads the
+        # per-half selections from a latch and drives broadcast/replay
+        # combinationally — Figure 4a -> 4b.  Edges leaving the loop
+        # (issued instructions heading to the backend) keep their latch.
+        loop = [f"{q}_old", f"{q}_new", f"{q}_sel_old", f"{q}_sel_new"]
+        apply(dependence_rotation(g, [f"{q}_root"], loop=loop))
+        # The rotated root is the broadcast/replay logic; privatize one
+        # copy per queue half — Figure 4b -> 4c / Figure 6.
+        apply(privatize(g, f"{q}_root", [[f"{q}_old"], [f"{q}_new"]]))
+        # Rename the copies to their microarchitectural identity.
+        for half in range(2):
+            _rename_component(g, f"{q}_root#{half}", f"{q}_bcast#{half}")
+
+    # Post-issue routing stage (one privatized mux control per backend
+    # way); +1 stage between issue and register read.
+    for way in range(width):
+        g.add(f"route_issue{way}")
+        for q in _QUEUES:
+            for half, tag in enumerate(("old", "new")):
+                g.connect_latched(f"{q}_bcast#{half}", f"route_issue{way}")
+            # Replace direct issue -> exec paths with the routed ones.
+            g.edges = {
+                e
+                for e in g.edges
+                if not (
+                    e.src.startswith(f"{q}_bcast")
+                    and e.dst == f"exec{way}"
+                )
+            }
+        g.connect_latched(f"route_issue{way}", f"exec{way}")
+    g.extra_latency["issue_route"] = 1
+    g.transform_log.append("issue routing stage added (+1 issue-to-exec)")
+
+    # ---- Register read (4.5): two half-ported copies; all edges already
+    # cross latches, so privatization happens on latch readers — modeled
+    # directly as two components replacing the original.
+    regfile = g.components.pop("regfile")
+    g.edges = {e for e in g.edges if "regfile" not in (e.src, e.dst)}
+    for half in range(2):
+        g.add(f"regfile#{half}", area=regfile.area * 0.75)
+        for way in range(width):
+            if way // 2 == half:
+                g.connect_latched(f"regfile#{half}", f"exec{way}")
+            g.connect_latched(f"exec{way}", f"regfile#{half}")
+    g.transform_log.append("regfile split into two half-ported copies")
+
+    # ---- Memory (4.7): privatize the insertion logic per LSQ half.
+    apply(
+        privatize(
+            g, "lsq_insert", [["lsq_half0"], ["lsq_half1"]]
+        )
+    )
+
+    # Attach map-out groups.
+    groups = rescue_map_out_groups(width)
+    for name in list(g.components):
+        if name in groups:
+            g.set_group(name, groups[name])
+    g.name = "rescue"
+    return g, records

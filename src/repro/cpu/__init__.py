@@ -1,0 +1,30 @@
+"""Cycle-level out-of-order performance simulator (the paper's modified
+SimpleScalar, Section 5).
+
+- :mod:`repro.cpu.params` — Table 1 machine parameters plus the Rescue
+  modifications and degraded-configuration knobs,
+- :mod:`repro.cpu.isa` — the trace instruction format,
+- :mod:`repro.cpu.bpred` — hybrid branch predictor, BTB, and RAS,
+- :mod:`repro.cpu.caches` — set-associative cache hierarchy,
+- :mod:`repro.cpu.queues` — compacting issue queues (baseline and the
+  ICI-transformed two-half variant with the temporary compaction latch and
+  the select/replay policy) and the LSQ,
+- :mod:`repro.cpu.pipeline` — the core model,
+- :mod:`repro.cpu.degraded` — degraded-configuration sweeps for YAT.
+"""
+
+from repro.cpu.params import CoreParams, MachineConfig
+from repro.cpu.isa import Instr, OpClass
+from repro.cpu.pipeline import Core, SimResult
+from repro.cpu.degraded import degraded_params, simulate_config
+
+__all__ = [
+    "Core",
+    "CoreParams",
+    "Instr",
+    "MachineConfig",
+    "OpClass",
+    "SimResult",
+    "degraded_params",
+    "simulate_config",
+]

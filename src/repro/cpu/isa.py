@@ -1,0 +1,62 @@
+"""Trace instruction format for the performance simulator."""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional, Tuple
+
+
+class OpClass(enum.IntEnum):
+    """Operation classes with distinct execution resources/latencies."""
+
+    IALU = 0
+    IMUL = 1
+    FADD = 2
+    FMUL = 3
+    LOAD = 4
+    STORE = 5
+    BRANCH = 6
+
+    @property
+    def is_fp(self) -> bool:
+        """True for the floating-point classes (FP issue queue/backend)."""
+        return self in (OpClass.FADD, OpClass.FMUL)
+
+    @property
+    def is_mem(self) -> bool:
+        """True for loads and stores (LSQ occupants)."""
+        return self in (OpClass.LOAD, OpClass.STORE)
+
+
+class Instr:
+    """One dynamic trace instruction.
+
+    ``deps`` holds backward distances (in dynamic instructions) to each
+    producer; distance d means "the instruction d before this one".  The
+    pipeline resolves them to sequence numbers at dispatch.
+    """
+
+    __slots__ = (
+        "seq", "op", "pc", "deps", "addr", "taken", "target",
+    )
+
+    def __init__(
+        self,
+        seq: int,
+        op: OpClass,
+        pc: int,
+        deps: Tuple[int, ...] = (),
+        addr: Optional[int] = None,
+        taken: bool = False,
+        target: int = 0,
+    ) -> None:
+        self.seq = seq
+        self.op = op
+        self.pc = pc
+        self.deps = deps
+        self.addr = addr
+        self.taken = taken
+        self.target = target
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Instr {self.seq} {self.op.name} pc={self.pc:#x}>"

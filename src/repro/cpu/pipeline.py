@@ -1,0 +1,421 @@
+"""The cycle-level out-of-order core model.
+
+Trace-driven: the trace supplies dynamic instructions with dependence
+distances, branch outcomes, and memory addresses; the core models fetch
+(branch-predictor-driven), an in-order frontend, dispatch into the ROB /
+issue queues / LSQ, wakeup-select issue with speculative load wakeup and
+miss replay, execution latencies through a real cache hierarchy, and
+in-order commit.
+
+Baseline vs Rescue differ exactly by the paper's Section 5 list: the
+segmented issue queue with cycle-split compaction and the per-half
+select/replay policy, +2 mispredict cycles, and +1 cycle of queue-slot
+occupancy after issue.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from repro.cpu.bpred import FrontendPredictor
+from repro.cpu.caches import MemoryHierarchy
+from repro.cpu.isa import Instr, OpClass
+from repro.cpu.params import MachineConfig
+from repro.cpu.queues import (
+    CompactingIssueQueue,
+    LoadStoreQueue,
+    SegmentedIssueQueue,
+    combined_violates,
+    replay_entries,
+)
+
+_INF = float("inf")
+
+
+class RobEntry:
+    __slots__ = ("instr", "done")
+
+    def __init__(self, instr: Instr) -> None:
+        self.instr = instr
+        self.done: Optional[int] = None
+
+
+@dataclass
+class SimResult:
+    """Summary statistics of one simulation."""
+
+    instructions: int
+    cycles: int
+    bpred_accuracy: float
+    l1d_miss_rate: float
+    l2_miss_rate: float
+    replays: int
+    load_squashes: int
+    issued: int = 0
+    iq_occupancy_sum: int = 0
+
+    @property
+    def ipc(self) -> float:
+        """Committed instructions per cycle over the measured window."""
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def avg_iq_occupancy(self) -> float:
+        """Mean combined int+fp issue-queue occupancy per cycle."""
+        return self.iq_occupancy_sum / self.cycles if self.cycles else 0.0
+
+    @property
+    def issue_rate(self) -> float:
+        """Instructions issued per cycle (> IPC when replays waste
+        bandwidth)."""
+        return self.issued / self.cycles if self.cycles else 0.0
+
+
+class Core:
+    """One core, one run."""
+
+    def __init__(self, config: MachineConfig, trace: Iterable[Instr]) -> None:
+        self.cfg = config
+        self.trace = iter(trace)
+        self.predictor = FrontendPredictor(config.core)
+        self.mem = MemoryHierarchy(config)
+        if config.rescue:
+            self.iq_int = SegmentedIssueQueue(
+                config.core.iq_int_size,
+                compaction_buffer=config.compaction_buffer,
+                issue_to_free=config.issue_to_free,
+                halves=config.iq_int_halves,
+            )
+            self.iq_fp = SegmentedIssueQueue(
+                config.core.iq_fp_size,
+                compaction_buffer=config.compaction_buffer,
+                issue_to_free=config.issue_to_free,
+                halves=config.iq_fp_halves,
+            )
+        else:
+            self.iq_int = CompactingIssueQueue(
+                config.iq_int_size, issue_to_free=config.issue_to_free
+            )
+            self.iq_fp = CompactingIssueQueue(
+                config.iq_fp_size, issue_to_free=config.issue_to_free
+            )
+        self.lsq = LoadStoreQueue(
+            config.core.lsq_size,
+            halves=config.lsq_halves,
+            block=config.core.l1d_block,
+        )
+        # Completion bookkeeping: optimistic (wakeup) and actual times.
+        self.opt_done: Dict[int, float] = {}
+        self.act_done: Dict[int, float] = {}
+        self.pending_fixes: List = []  # (discover_cycle, seq)
+        self.rob: deque = deque()
+        self._rob_index: Dict[int, RobEntry] = {}
+        self.dispatch_q: deque = deque()  # (available_cycle, Instr)
+        self.redirect_seq: Optional[int] = None
+        self.fetch_stall_until = 0
+        self.trace_done = False
+        self.replays = 0
+        self.load_squashes = 0
+        self.issued_total = 0
+        self.iq_occupancy_sum = 0
+
+        self._lat = config.core.latencies
+        self._limits_int = {
+            "slots": config.int_issue_limit,
+            "alu": config.int_alus,
+            "mul": config.int_muls,
+            "mem": config.mem_ports,
+        }
+        self._limits_fp = {
+            "slots": config.fp_issue_limit,
+            "fadd": config.fp_adds,
+            "fmul": config.fp_muls,
+        }
+
+    # ------------------------------------------------------------------
+    def _ready(self, instr: Instr, cycle: int) -> bool:
+        opt = self.opt_done
+        seq = instr.seq
+        for d in instr.deps:
+            t = opt.get(seq - d)
+            if t is not None and t > cycle:
+                return False
+        return True
+
+    def _missed_speculation(self, instr: Instr, cycle: int) -> bool:
+        act = self.act_done
+        seq = instr.seq
+        for d in instr.deps:
+            t = act.get(seq - d)
+            if t is not None and t > cycle:
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        max_instructions: int,
+        max_cycles: Optional[int] = None,
+        warmup: int = 0,
+    ) -> SimResult:
+        """Simulate until ``max_instructions`` commit (or the trace ends).
+
+        The first ``warmup`` committed instructions prime the caches and
+        predictor but are excluded from IPC and rate statistics.
+        """
+        committed = 0
+        cycle = 0
+        if max_cycles is None:
+            max_cycles = 400 * (max_instructions + warmup) + 10_000
+        start_cycle = 0
+        snap = None
+        total = max_instructions + warmup
+        while committed < total and cycle < max_cycles:
+            committed += self._commit(cycle)
+            if snap is None and committed >= warmup:
+                start_cycle = cycle
+                snap = (
+                    self.mem.l1d.hits, self.mem.l1d.misses,
+                    self.mem.l2.hits, self.mem.l2.misses,
+                    self.predictor.lookups, self.predictor.mispredicts,
+                    self.replays, self.load_squashes, committed,
+                    self.issued_total, self.iq_occupancy_sum,
+                )
+            self._apply_pending_fixes(cycle)
+            self.iq_int.tick(cycle)
+            self.iq_fp.tick(cycle)
+            self.iq_occupancy_sum += (
+                self.iq_int.occupancy() + self.iq_fp.occupancy()
+            )
+            self._issue(cycle)
+            self._dispatch(cycle)
+            self._fetch(cycle)
+            if (
+                self.trace_done
+                and not self.rob
+                and not self.dispatch_q
+            ):
+                break
+            cycle += 1
+        if snap is None:
+            snap = (0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0)
+            start_cycle = 0
+
+        def rate(hits: int, misses: int) -> float:
+            total_acc = hits + misses
+            return misses / total_acc if total_acc else 0.0
+
+        l1h = self.mem.l1d.hits - snap[0]
+        l1m = self.mem.l1d.misses - snap[1]
+        l2h = self.mem.l2.hits - snap[2]
+        l2m = self.mem.l2.misses - snap[3]
+        lookups = self.predictor.lookups - snap[4]
+        wrong = self.predictor.mispredicts - snap[5]
+        return SimResult(
+            instructions=committed - snap[8],
+            cycles=max(cycle - start_cycle, 1),
+            bpred_accuracy=1.0 - (wrong / lookups if lookups else 0.0),
+            l1d_miss_rate=rate(l1h, l1m),
+            l2_miss_rate=rate(l2h, l2m),
+            replays=self.replays - snap[6],
+            load_squashes=self.load_squashes - snap[7],
+            issued=self.issued_total - snap[9],
+            iq_occupancy_sum=self.iq_occupancy_sum - snap[10],
+        )
+
+    # ------------------------------------------------------------------
+    def _commit(self, cycle: int) -> int:
+        n = 0
+        width = self.cfg.core.width
+        last_seq = None
+        while self.rob and n < width:
+            head = self.rob[0]
+            if head.done is None or head.done > cycle:
+                break
+            self.rob.popleft()
+            instr = head.instr
+            if instr.op is OpClass.STORE and instr.addr is not None:
+                self.mem.store_touch(instr.addr)
+            self.opt_done.pop(instr.seq, None)
+            self.act_done.pop(instr.seq, None)
+            self._rob_index.pop(instr.seq, None)
+            last_seq = instr.seq
+            n += 1
+        if last_seq is not None:
+            self.lsq.retire_upto(last_seq)
+        return n
+
+    def _apply_pending_fixes(self, cycle: int) -> None:
+        """Load hit/miss discovery: downgrade optimistic wakeups."""
+        if not self.pending_fixes:
+            return
+        keep = []
+        for discover, seq in self.pending_fixes:
+            if discover <= cycle:
+                if seq in self.opt_done:
+                    self.opt_done[seq] = self.act_done.get(seq, _INF)
+            else:
+                keep.append((discover, seq))
+        self.pending_fixes = keep
+
+    # ------------------------------------------------------------------
+    def _issue(self, cycle: int) -> None:
+        for queue, limits in (
+            (self.iq_int, self._limits_int),
+            (self.iq_fp, self._limits_fp),
+        ):
+            if self.cfg.rescue:
+                old_sel, new_sel = queue.select_halves(
+                    cycle, self._ready, limits
+                )
+                if new_sel and combined_violates(old_sel, new_sel, limits):
+                    if self.cfg.replay_policy == "trim":
+                        # Idealized comparator: drop only the youngest
+                        # excess selections (needs the cross-half
+                        # communication ICI forbids — ablation only).
+                        survivors = self._trim(old_sel, new_sel, limits, cycle)
+                    else:
+                        # Paper policy: replay the half that selected
+                        # fewer (ties: new half).  The replay is
+                        # discovered from latched counts one cycle later,
+                        # so the losers sit out two cycles.
+                        loser = (
+                            old_sel if len(old_sel) < len(new_sel) else new_sel
+                        )
+                        replay_entries(loser, cycle, 2)
+                        self.replays += len(loser)
+                        survivors = new_sel if loser is old_sel else old_sel
+                else:
+                    survivors = old_sel + new_sel
+            else:
+                survivors = queue.select(cycle, self._ready, limits)
+            self._execute(survivors, queue, cycle)
+
+    def _trim(self, old_sel, new_sel, limits, cycle):
+        """Keep the oldest selections that fit the limits; replay the rest
+        individually (the 'trim' ablation policy)."""
+        from repro.cpu.queues import resource_of
+
+        used = {r: 0 for r in limits}
+        survivors = []
+        dropped = []
+        merged = sorted(old_sel + new_sel, key=lambda e: e.instr.seq)
+        for e in merged:
+            res = resource_of(e.instr.op)
+            if (
+                used["slots"] + 1 <= limits["slots"]
+                and used.get(res, 0) + 1 <= limits.get(res, 0)
+            ):
+                used["slots"] += 1
+                used[res] = used.get(res, 0) + 1
+                survivors.append(e)
+            else:
+                dropped.append(e)
+        replay_entries(dropped, cycle, 2)
+        self.replays += len(dropped)
+        return survivors
+
+    def _execute(self, selected, queue, cycle: int) -> None:
+        l1_lat = self.cfg.core.l1d_latency
+        for e in selected:
+            instr = e.instr
+            if self._missed_speculation(instr, cycle):
+                # Issued on a speculative (load-hit) wakeup that turned out
+                # wrong: squash and retry once the operand really arrives.
+                queue.replay([e])
+                self.load_squashes += 1
+                continue
+            if instr.op is OpClass.LOAD:
+                assert instr.addr is not None
+                if self.lsq.forwards(instr.seq, instr.addr):
+                    latency = l1_lat
+                else:
+                    latency = self.mem.load_latency(instr.addr)
+                act = cycle + latency
+                opt = cycle + l1_lat
+                self.act_done[instr.seq] = act
+                self.opt_done[instr.seq] = opt
+                if act > opt:
+                    # Hit/miss is known one cycle after the tag check —
+                    # one more in Rescue, whose shift stage sits between
+                    # issue and register read (Section 5, modification 4).
+                    # Dependents issued on the optimistic wakeup inside
+                    # that window are squashed and retried.
+                    discover = cycle + l1_lat + 1 + (
+                        1 if self.cfg.rescue else 0
+                    )
+                    self.pending_fixes.append((discover, instr.seq))
+            else:
+                latency = self._lat[int(instr.op)]
+                done = cycle + latency
+                self.act_done[instr.seq] = done
+                self.opt_done[instr.seq] = done
+            self.issued_total += 1
+            self._rob_index[instr.seq].done = self.act_done[instr.seq]
+            if instr.op is OpClass.BRANCH and instr.seq == self.redirect_seq:
+                self.fetch_stall_until = int(self.act_done[instr.seq])
+                self.redirect_seq = None
+
+    # ------------------------------------------------------------------
+    def _dispatch(self, cycle: int) -> None:
+        cfg = self.cfg
+        n = 0
+        # Frontend ways do decode and rename too: a degraded frontend
+        # limits dispatch bandwidth along with fetch (Section 4).
+        width = min(cfg.core.width, cfg.fetch_width)
+        while self.dispatch_q and n < width:
+            avail, instr = self.dispatch_q[0]
+            if avail > cycle:
+                break
+            if len(self.rob) >= cfg.core.rob_size:
+                break
+            queue = self.iq_fp if instr.op.is_fp else self.iq_int
+            if not queue.can_insert():
+                break
+            if instr.op.is_mem and not self.lsq.can_insert():
+                break
+            self.dispatch_q.popleft()
+            entry = RobEntry(instr)
+            self.rob.append(entry)
+            self._rob_index[instr.seq] = entry
+            self.opt_done[instr.seq] = _INF
+            queue.insert(instr, cycle)
+            if instr.op.is_mem:
+                self.lsq.insert(
+                    instr.seq, instr.op is OpClass.STORE, instr.addr or 0
+                )
+            n += 1
+
+    # ------------------------------------------------------------------
+    def _fetch(self, cycle: int) -> None:
+        cfg = self.cfg
+        if self.trace_done or self.redirect_seq is not None:
+            return
+        if cycle < self.fetch_stall_until:
+            return
+        # The dispatch queue holds everything in flight in the frontend
+        # (frontend_latency cycles deep at full width) plus a small skid.
+        # The skid budget is the *baseline* depth for both machines so the
+        # deeper Rescue frontend does not double as extra buffering.
+        frontend_latency = cfg.mispredict_penalty
+        if len(self.dispatch_q) >= cfg.core.width * (
+            cfg.core.mispredict_penalty + 4
+        ):
+            return
+        for _ in range(cfg.fetch_width):
+            instr = next(self.trace, None)
+            if instr is None:
+                self.trace_done = True
+                return
+            self.dispatch_q.append((cycle + frontend_latency, instr))
+            if instr.op is OpClass.BRANCH:
+                wrong = self.predictor.predict_and_update(
+                    instr.pc, instr.taken, instr.target
+                )
+                if wrong:
+                    self.redirect_seq = instr.seq
+                    return
+                if instr.taken:
+                    return  # taken branches end the fetch group

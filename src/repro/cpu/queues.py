@@ -1,0 +1,291 @@
+"""Issue queues and the load/store queue.
+
+Two issue-queue models:
+
+- :class:`CompactingIssueQueue` — the baseline: one compacting window,
+  oldest-first global selection, freed slots reusable the next cycle.
+- :class:`SegmentedIssueQueue` — Rescue's ICI-transformed queue: an old
+  half, a new half, and a small temporary compaction buffer between them.
+  Entries move new→buffer only after the old half *requested* room in a
+  previous cycle (the cycle-split inter-segment compaction), sit in the
+  buffer for a cycle (selectable never, wakeable always — wakeup is
+  implicit in the readiness predicate), and each half selects
+  independently; the pipeline applies the paper's replay rule when the
+  combined selection oversubscribes the backend.
+
+Both queues release an issued entry's slot ``issue_to_free`` cycles after
+issue (2 baseline, 3 Rescue — the extra shift stage), and un-issue entries
+on replay.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.cpu.isa import Instr, OpClass
+
+#: Resource names used in selection limits.
+RESOURCES = ("slots", "alu", "mul", "fadd", "fmul", "mem")
+
+
+def resource_of(op: OpClass) -> str:
+    """Execution resource class an operation consumes."""
+    return {
+        OpClass.IALU: "alu",
+        OpClass.BRANCH: "alu",
+        OpClass.IMUL: "mul",
+        OpClass.FADD: "fadd",
+        OpClass.FMUL: "fmul",
+        OpClass.LOAD: "mem",
+        OpClass.STORE: "mem",
+    }[op]
+
+
+class IqEntry:
+    """One issue-queue entry."""
+
+    __slots__ = (
+        "instr", "segment", "issued_at", "entered_segment_at",
+        "blocked_until",
+    )
+
+    def __init__(self, instr: Instr, segment: str, cycle: int) -> None:
+        self.instr = instr
+        self.segment = segment
+        self.issued_at: Optional[int] = None
+        self.entered_segment_at = cycle
+        # Earliest cycle this entry may be selected again after a replay
+        # (the replay is discovered from latched counts a cycle later).
+        self.blocked_until = 0
+
+
+def _select_from(
+    entries: List[IqEntry],
+    cycle: int,
+    ready: Callable[[Instr, int], bool],
+    limits: Dict[str, int],
+) -> List[IqEntry]:
+    """Oldest-first selection under resource limits."""
+    used = {r: 0 for r in limits}
+    picked: List[IqEntry] = []
+    for e in entries:
+        if e.issued_at is not None or e.blocked_until > cycle:
+            continue
+        if not ready(e.instr, cycle):
+            continue
+        res = resource_of(e.instr.op)
+        if used["slots"] + 1 > limits["slots"]:
+            break
+        if used.get(res, 0) + 1 > limits.get(res, 0):
+            continue
+        used["slots"] += 1
+        used[res] = used.get(res, 0) + 1
+        picked.append(e)
+    for e in picked:
+        e.issued_at = cycle
+    return picked
+
+
+def combined_violates(
+    sel_a: List[IqEntry], sel_b: List[IqEntry], limits: Dict[str, int]
+) -> bool:
+    """True when the union of two selections oversubscribes a resource."""
+    used = {r: 0 for r in limits}
+    for e in sel_a + sel_b:
+        used["slots"] += 1
+        res = resource_of(e.instr.op)
+        used[res] = used.get(res, 0) + 1
+    return any(used[r] > limits[r] for r in used)
+
+
+def replay_entries(entries: List[IqEntry], cycle: int, penalty: int) -> None:
+    """Un-issue ``entries`` and hold them out of selection for
+    ``penalty`` cycles (replay discovery is one cycle late, so the
+    earliest legal re-selection is ``cycle + 2`` for the paper's rule)."""
+    for e in entries:
+        e.issued_at = None
+        e.blocked_until = max(e.blocked_until, cycle + penalty)
+
+
+class CompactingIssueQueue:
+    """Baseline single-window compacting queue."""
+
+    def __init__(self, size: int, issue_to_free: int = 2) -> None:
+        self.size = size
+        self.issue_to_free = issue_to_free
+        self.entries: List[IqEntry] = []
+
+    def tick(self, cycle: int) -> None:
+        """Release the slots of entries issued long enough ago."""
+        self.entries = [
+            e
+            for e in self.entries
+            if e.issued_at is None or cycle < e.issued_at + self.issue_to_free
+        ]
+
+    def can_insert(self) -> bool:
+        return len(self.entries) < self.size
+
+    def insert(self, instr: Instr, cycle: int) -> None:
+        if not self.can_insert():
+            raise RuntimeError("issue queue overflow")
+        self.entries.append(IqEntry(instr, "old", cycle))
+
+    def select(
+        self,
+        cycle: int,
+        ready: Callable[[Instr, int], bool],
+        limits: Dict[str, int],
+    ) -> List[IqEntry]:
+        return _select_from(self.entries, cycle, ready, limits)
+
+    def replay(self, entries: List[IqEntry]) -> None:
+        for e in entries:
+            e.issued_at = None
+
+    def occupancy(self) -> int:
+        return len(self.entries)
+
+
+class SegmentedIssueQueue:
+    """Rescue's two-half queue with the temporary compaction latch.
+
+    When ``halves == 1`` (one half mapped out), the queue degrades to a
+    single window of half the size fed directly from rename (Section
+    4.1.3) and behaves like the baseline policy at that size.
+    """
+
+    def __init__(
+        self,
+        size: int,
+        compaction_buffer: int = 4,
+        issue_to_free: int = 3,
+        halves: int = 2,
+    ) -> None:
+        if halves not in (1, 2):
+            raise ValueError("halves must be 1 or 2")
+        self.halves = halves
+        self.issue_to_free = issue_to_free
+        if halves == 1:
+            self.size = size // 2
+            self.half_cap = self.size
+            self.buffer_cap = 0
+        else:
+            self.buffer_cap = compaction_buffer
+            self.half_cap = (size - compaction_buffer) // 2
+            self.size = size
+        self.entries: List[IqEntry] = []  # global age order
+        self._request_pending = False
+
+    # ------------------------------------------------------------------
+    def _seg(self, name: str) -> List[IqEntry]:
+        return [e for e in self.entries if e.segment == name]
+
+    def tick(self, cycle: int) -> None:
+        """Release issued slots, then run the cycle-split compaction."""
+        self.entries = [
+            e
+            for e in self.entries
+            if e.issued_at is None or cycle < e.issued_at + self.issue_to_free
+        ]
+        if self.halves == 1:
+            return
+        old = self._seg("old")
+        buf = self._seg("buf")
+        new = self._seg("new")
+        # Buffer -> old: entries that spent a full cycle in the latch.
+        holes = self.half_cap - len(old)
+        moved = 0
+        for e in buf:
+            if moved >= holes:
+                break
+            if e.entered_segment_at < cycle:
+                e.segment = "old"
+                e.entered_segment_at = cycle
+                moved += 1
+        # New -> buffer, only if the old half asked last cycle.
+        if self._request_pending:
+            space = self.buffer_cap - len(self._seg("buf"))
+            moved_new = 0
+            for e in new:
+                if moved_new >= space:
+                    break
+                e.segment = "buf"
+                e.entered_segment_at = cycle
+                moved_new += 1
+        # Latch this cycle's request for the next one (cycle splitting).
+        self._request_pending = len(self._seg("old")) < self.half_cap
+
+    # ------------------------------------------------------------------
+    def can_insert(self) -> bool:
+        if self.halves == 1:
+            return len(self.entries) < self.half_cap
+        return len(self._seg("new")) < self.half_cap
+
+    def insert(self, instr: Instr, cycle: int) -> None:
+        if not self.can_insert():
+            raise RuntimeError("issue queue overflow")
+        seg = "old" if self.halves == 1 else "new"
+        self.entries.append(IqEntry(instr, seg, cycle))
+
+    # ------------------------------------------------------------------
+    def select_halves(
+        self,
+        cycle: int,
+        ready: Callable[[Instr, int], bool],
+        limits: Dict[str, int],
+    ):
+        """(old selection, new selection); buffer entries never issue."""
+        old_sel = _select_from(self._seg("old"), cycle, ready, limits)
+        if self.halves == 1:
+            return old_sel, []
+        new_sel = _select_from(self._seg("new"), cycle, ready, limits)
+        return old_sel, new_sel
+
+    def replay(self, entries: List[IqEntry]) -> None:
+        for e in entries:
+            e.issued_at = None
+
+    def occupancy(self) -> int:
+        return len(self.entries)
+
+
+class LoadStoreQueue:
+    """Capacity + store-to-load forwarding model of the LSQ.
+
+    Entries are (seq, is_store, block address); they retire with commit.
+    A load whose address matches an older in-flight store forwards at L1
+    latency.  Degraded mode halves the capacity (Section 4.7).
+    """
+
+    def __init__(self, size: int, halves: int = 2, block: int = 32) -> None:
+        if halves not in (1, 2):
+            raise ValueError("halves must be 1 or 2")
+        self.size = size * halves // 2
+        self.block = block
+        self.entries: List[tuple] = []  # (seq, is_store, blk)
+
+    def can_insert(self) -> bool:
+        return len(self.entries) < self.size
+
+    def insert(self, seq: int, is_store: bool, addr: int) -> None:
+        if not self.can_insert():
+            raise RuntimeError("LSQ overflow")
+        self.entries.append((seq, is_store, addr // self.block))
+
+    def forwards(self, seq: int, addr: int) -> bool:
+        """True when an older store to the same block is still queued."""
+        blk = addr // self.block
+        for s, is_store, b in self.entries:
+            if s >= seq:
+                break
+            if is_store and b == blk:
+                return True
+        return False
+
+    def retire_upto(self, seq: int) -> None:
+        """Drop entries at or below the committed sequence number."""
+        self.entries = [e for e in self.entries if e[0] > seq]
+
+    def occupancy(self) -> int:
+        return len(self.entries)

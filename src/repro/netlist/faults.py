@@ -1,0 +1,54 @@
+"""Stuck-at fault sites.
+
+The paper's test model (Section 2) is the classic single stuck-at model:
+a net permanently at 0 or 1.  We support the two standard site classes —
+*stem* faults on a net and *branch* faults on a single gate (or flop) input
+pin — which is what equivalence collapsing in :mod:`repro.atpg.collapse`
+produces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class StuckAt:
+    """A single stuck-at fault.
+
+    Attributes:
+        net: the faulted net (stem fault) or the net feeding the faulted pin.
+        value: 0 or 1 — the stuck value.
+        gate: when set, the fault is on input pin ``pin`` of this gate only.
+        flop: when set, the fault is on the D input pin of this flop only.
+    """
+
+    net: int
+    value: int
+    gate: Optional[int] = None
+    pin: Optional[int] = None
+    flop: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.value not in (0, 1):
+            raise ValueError(f"stuck value must be 0 or 1, got {self.value}")
+        if self.gate is not None and self.pin is None:
+            raise ValueError("gate pin fault needs a pin index")
+        if self.gate is not None and self.flop is not None:
+            raise ValueError("fault cannot sit on both a gate and a flop pin")
+
+    @property
+    def is_stem(self) -> bool:
+        """True when the fault affects every reader of the net."""
+        return self.gate is None and self.flop is None
+
+    def describe(self) -> str:
+        """Human-readable site string, e.g. ``net12/SA0`` or ``g3.pin1/SA1``."""
+        if self.gate is not None:
+            site = f"g{self.gate}.pin{self.pin}"
+        elif self.flop is not None:
+            site = f"ff{self.flop}.d"
+        else:
+            site = f"net{self.net}"
+        return f"{site}/SA{self.value}"

@@ -1,0 +1,20 @@
+"""Gate-level pipeline models (the paper's Verilog model, Section 5).
+
+:func:`build_baseline_rtl` and :func:`build_rescue_rtl` produce real
+gate-level netlists of a scaled-down two-way out-of-order pipeline —
+fetch, decode, rename, issue (compacting two-half queue with wakeup/select
+/broadcast/replay), register read, execute with forwarding, LSQ with
+pipelined search trees, writeback, and commit.  The Rescue variant applies
+every Section 4 transformation *in gates*: routing stages, cycle-split
+rename with two table copies, inter-segment compaction through a temporary
+latch, per-half selection with privatized broadcast/replay logic, per-half
+LSQ insertion, and selectively disabled write ports.
+
+Every gate and flop carries the map-out block label of its ICI component,
+so scan-bit fault isolation (Section 6.1) can be exercised end to end.
+"""
+
+from repro.rtl.params import RtlParams
+from repro.rtl.model import build_baseline_rtl, build_rescue_rtl, RtlModel
+
+__all__ = ["RtlModel", "RtlParams", "build_baseline_rtl", "build_rescue_rtl"]

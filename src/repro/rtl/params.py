@@ -1,0 +1,71 @@
+"""Size parameters of the gate-level pipeline models.
+
+The paper's Verilog model is a full 4-wide machine (≈85k scan cells); our
+Python ATPG works on a structurally faithful but scaled-down 2-way model.
+Every communication pathway of the paper's design is present; only the
+word widths and queue depths shrink.  ``RtlParams.tiny()`` is for unit
+tests; the default is used by the Table 3 / Section 6.1 benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RtlParams:
+    """Widths and depths of the gate-level model.
+
+    Attributes:
+        xlen: datapath width in bits.
+        areg_bits: architectural register specifier bits (2^areg_bits regs).
+        tag_bits: physical tag width.
+        iq_half: issue-queue entries per half.
+        lsq_half: LSQ entries per half.
+        reg_bits: register-file index bits (2^reg_bits registers).
+        addr_bits: LSQ address bits.
+        issue_width: instructions issued per cycle (also machine width).
+    """
+
+    xlen: int = 8
+    areg_bits: int = 3
+    tag_bits: int = 4
+    iq_half: int = 4
+    lsq_half: int = 2
+    reg_bits: int = 3
+    addr_bits: int = 6
+    issue_width: int = 2
+
+    def __post_init__(self) -> None:
+        if self.issue_width != 2:
+            raise ValueError(
+                "the gate-level model is built at width 2 (two half-"
+                "pipelines); the performance simulator models wider cores"
+            )
+        for field_name in ("xlen", "areg_bits", "tag_bits", "iq_half",
+                           "lsq_half", "reg_bits", "addr_bits"):
+            if getattr(self, field_name) < 1:
+                raise ValueError(f"{field_name} must be >= 1")
+
+    @property
+    def n_aregs(self) -> int:
+        """Number of architectural registers."""
+        return 1 << self.areg_bits
+
+    @property
+    def n_regs(self) -> int:
+        """Number of register-file rows."""
+        return 1 << self.reg_bits
+
+    @classmethod
+    def tiny(cls) -> "RtlParams":
+        """Small instance for fast unit tests."""
+        return cls(
+            xlen=4,
+            areg_bits=2,
+            tag_bits=3,
+            iq_half=2,
+            lsq_half=2,
+            reg_bits=2,
+            addr_bits=4,
+        )

@@ -1,0 +1,60 @@
+"""Scan-chain bookkeeping.
+
+A scan chain is an ordering of a design's scan flops into a shift register.
+The property the paper's isolation scheme relies on (Section 3.1) is that
+the mapping *scan-bit index → flop → ICI component that writes the flop* is
+fixed at design time, so a failing bit index identifies a component by a
+single table lookup.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.netlist.netlist import Netlist
+
+
+class ScanChain:
+    """An ordered scan chain over (a subset of) a netlist's flops."""
+
+    def __init__(self, netlist: Netlist, flop_order: Sequence[int]) -> None:
+        if len(set(flop_order)) != len(flop_order):
+            raise ValueError("scan chain repeats a flop")
+        for fid in flop_order:
+            if not (0 <= fid < len(netlist.flops)):
+                raise ValueError(f"unknown flop id {fid}")
+        self.netlist = netlist
+        self.flop_order: List[int] = list(flop_order)
+        self.bit_of_flop: Dict[int, int] = {
+            fid: i for i, fid in enumerate(self.flop_order)
+        }
+
+    def __len__(self) -> int:
+        return len(self.flop_order)
+
+    def flop_at(self, bit: int) -> int:
+        """Flop id sitting at scan-bit position ``bit``."""
+        return self.flop_order[bit]
+
+    def component_at(self, bit: int) -> str:
+        """ICI component label that writes the flop at ``bit``."""
+        return self.netlist.flops[self.flop_at(bit)].component
+
+    def component_table(self) -> List[str]:
+        """The full bit→component lookup table (paper Section 6.1)."""
+        return [self.component_at(i) for i in range(len(self))]
+
+    def test_cycles(self, n_vectors: int, n_chains: int = 1) -> int:
+        """Tester cycles to apply ``n_vectors`` single-capture scan tests.
+
+        Scan-out of vector *i* overlaps scan-in of vector *i+1*, the
+        standard flow: one initial fill, one capture cycle per vector, and
+        one final drain.  With ``n_chains`` parallel chains (the paper's
+        designs use many) the shift length divides accordingly.
+        """
+        if n_vectors <= 0:
+            return 0
+        if n_chains < 1:
+            raise ValueError("need at least one scan chain")
+        length = -(-len(self) // n_chains)  # ceil division
+        return (n_vectors + 1) * length + n_vectors

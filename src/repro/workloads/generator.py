@@ -1,0 +1,151 @@
+"""Deterministic synthetic trace generation from benchmark profiles.
+
+The generator emits a loop-nest-shaped dynamic instruction stream:
+
+- the program is a ring of loops; each loop body is a fixed random recipe
+  of instruction classes drawn from the profile mix;
+- the body ends in a backward branch taken until the iteration count runs
+  out (predictable), and bodies contain occasional data-dependent
+  conditional branches whose outcome is random with the profile's
+  ``chaos`` probability (hard to predict);
+- loads/stores walk stride streams with probability ``stride_frac`` and
+  otherwise hit uniformly random addresses in the working set;
+- register dependences point back a geometric(``dep_p``) distance.
+
+Everything derives from ``random.Random(seed)``, so a (profile, seed,
+length) triple names a reproducible trace.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from typing import Iterator, List
+
+from repro.cpu.isa import Instr, OpClass
+from repro.workloads.profiles import BenchmarkProfile
+
+_PC_STRIDE = 4
+_CHAOS_BRANCH_EVERY = 7  # body positions between data-dependent branches
+
+
+class TraceGenerator:
+    """Streaming generator of :class:`Instr` records."""
+
+    def __init__(self, prof: BenchmarkProfile, seed: int = 12345) -> None:
+        self.prof = prof
+        # zlib.crc32 is stable across processes (str.__hash__ is salted).
+        name_hash = zlib.crc32(prof.name.encode("utf-8"))
+        self.rng = random.Random((name_hash ^ seed) & 0x7FFFFFFF)
+        self._seq = 0
+        ops, weights = zip(*[
+            (op, w) for op, w in prof.mix.items()
+            if w > 0 and op is not OpClass.BRANCH
+        ])
+        self._ops = ops
+        self._weights = weights
+        # Build the static loop ring: each loop has a base PC and a body
+        # recipe (list of op classes).
+        self.loops = []
+        n_loops = 12
+        pc = 0x1000
+        for _ in range(n_loops):
+            body = self.rng.choices(
+                self._ops, weights=self._weights,
+                k=max(2, int(self.rng.gauss(prof.body_len, 2))),
+            )
+            self.loops.append({"pc": pc, "body": list(body)})
+            pc += (len(body) + 4) * _PC_STRIDE
+        # Memory layout: each loop owns a stride stream over a slice of
+        # the working set; non-stride accesses mostly hit a small hot
+        # region (temporal locality) and occasionally roam the full set.
+        self._ws_bytes = max(8 * 1024, prof.working_set_kb * 1024)
+        self._stream_bytes = max(4 * 1024, self._ws_bytes // len(self.loops))
+        self._hot_bytes = min(32 * 1024, self._ws_bytes)
+        self._stride_ptrs = [0 for _ in self.loops]
+
+    # ------------------------------------------------------------------
+    def _address(self, loop_idx: int) -> int:
+        r = self.rng.random()
+        if r < self.prof.stride_frac:
+            # Wrapping stream over this loop's slice: compulsory misses on
+            # the first pass, reuse afterwards when the slice fits.
+            self._stride_ptrs[loop_idx] += 8
+            offset = self._stride_ptrs[loop_idx] % self._stream_bytes
+            return loop_idx * self._stream_bytes + offset
+        if self.rng.random() < self.prof.locality:
+            return self.rng.randrange(0, self._hot_bytes) & ~7
+        return self.rng.randrange(0, self._ws_bytes) & ~7
+
+    def _deps(self) -> tuple:
+        n = 1 if self.rng.random() < 0.65 else 2
+        out: List[int] = []
+        for _ in range(n):
+            d = 1
+            while self.rng.random() > self.prof.dep_p and d < 64:
+                d += 1
+            if d < self._seq + 1:
+                out.append(d)
+        return tuple(out)
+
+    def _instr(self, op: OpClass, pc: int, loop_idx: int,
+               taken: bool = False, target: int = 0) -> Instr:
+        addr = self._address(loop_idx) if op.is_mem else None
+        ins = Instr(
+            seq=self._seq,
+            op=op,
+            pc=pc,
+            deps=self._deps(),
+            addr=addr,
+            taken=taken,
+            target=target,
+        )
+        self._seq += 1
+        return ins
+
+    # ------------------------------------------------------------------
+    def stream(self) -> Iterator[Instr]:
+        """Infinite instruction stream."""
+        prof = self.prof
+        loop_idx = 0
+        while True:
+            loop = self.loops[loop_idx]
+            iters = max(1, int(self.rng.expovariate(1.0 / prof.loop_iters)))
+            for it in range(iters):
+                pc = loop["pc"]
+                for pos, op in enumerate(loop["body"]):
+                    yield self._instr(op, pc, loop_idx)
+                    pc += _PC_STRIDE
+                    if (
+                        pos % _CHAOS_BRANCH_EVERY == _CHAOS_BRANCH_EVERY - 1
+                        and prof.chaos > 0
+                    ):
+                        taken = self.rng.random() < prof.chaos
+                        yield self._instr(
+                            OpClass.BRANCH, pc, loop_idx,
+                            taken=taken, target=pc + 16 * _PC_STRIDE,
+                        )
+                        pc += _PC_STRIDE
+                # Loop-back branch: taken until the last iteration.
+                back = it < iters - 1
+                yield self._instr(
+                    OpClass.BRANCH, pc, loop_idx,
+                    taken=back, target=loop["pc"],
+                )
+            loop_idx = (loop_idx + 1) % len(self.loops)
+
+    def take(self, n: int) -> List[Instr]:
+        """First ``n`` instructions of the stream."""
+        out: List[Instr] = []
+        for ins in self.stream():
+            out.append(ins)
+            if len(out) >= n:
+                break
+        return out
+
+
+def generate_trace(
+    prof: BenchmarkProfile, n: int, seed: int = 12345
+) -> List[Instr]:
+    """Convenience wrapper: a fresh generator's first ``n`` instructions."""
+    return TraceGenerator(prof, seed=seed).take(n)

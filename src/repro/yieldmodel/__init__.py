@@ -1,0 +1,45 @@
+"""Yield and yield-adjusted-throughput model (paper Section 5, 6.3).
+
+- :mod:`repro.yieldmodel.pwp` — ITRS technology nodes and the EQ 1 fault
+  density model (PWP stagnating at a chosen node),
+- :mod:`repro.yieldmodel.area` — the Table 2 area model,
+- :mod:`repro.yieldmodel.negbin` — negative-binomial (clustered) yield via
+  gamma mixing of a Poisson model,
+- :mod:`repro.yieldmodel.growth` — CMP core counts under core growth,
+- :mod:`repro.yieldmodel.configs` — degraded-configuration enumeration and
+  probabilities,
+- :mod:`repro.yieldmodel.yat` — EQ 2 / EQ 3: expected chip throughput for
+  no-redundancy, core-sparing, and Rescue chips.
+"""
+
+from repro.yieldmodel.area import AreaModel, TABLE2_FRACTIONS
+from repro.yieldmodel.configs import CoreCounts, FULL_CONFIG, enumerate_configs
+from repro.yieldmodel.escapes import EscapeModel, defect_level, dppm
+from repro.yieldmodel.growth import cores_per_chip
+from repro.yieldmodel.montecarlo import MonteCarloResult, simulate_chips
+from repro.yieldmodel.negbin import GammaMixing, negbin_yield
+from repro.yieldmodel.pwp import FaultDensityModel, TECH_NODES, generations
+from repro.yieldmodel.selfhealing import SelfHealingModel
+from repro.yieldmodel.yat import YatModel, YatResult
+
+__all__ = [
+    "AreaModel",
+    "CoreCounts",
+    "EscapeModel",
+    "FULL_CONFIG",
+    "FaultDensityModel",
+    "GammaMixing",
+    "MonteCarloResult",
+    "SelfHealingModel",
+    "TABLE2_FRACTIONS",
+    "TECH_NODES",
+    "YatModel",
+    "YatResult",
+    "cores_per_chip",
+    "defect_level",
+    "dppm",
+    "enumerate_configs",
+    "generations",
+    "negbin_yield",
+    "simulate_chips",
+]

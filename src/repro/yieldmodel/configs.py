@@ -1,0 +1,96 @@
+"""Degraded-configuration enumeration and probabilities (Section 5).
+
+A Rescue core is summarized by how many groups survive in each redundant
+dimension: frontend groups, integer backend groups, FP backend groups,
+integer/FP issue-queue halves, and LSQ halves — two each, so a
+configuration is a point in {1, 2}^6 plus the all-or-nothing chipkill
+block.  Halves are symmetric, so IPC depends only on the counts; the
+probability of "exactly one of two survives" carries the ×2 multiplicity.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Iterator, Mapping, Tuple
+
+import numpy as np
+
+#: Redundant dimensions in canonical order.
+DIMENSIONS: Tuple[str, ...] = (
+    "frontend", "int_backend", "fp_backend", "iq_int", "iq_fp", "lsq",
+)
+
+
+@dataclass(frozen=True)
+class CoreCounts:
+    """Surviving group counts per redundant dimension (1 or 2 each)."""
+
+    frontend: int = 2
+    int_backend: int = 2
+    fp_backend: int = 2
+    iq_int: int = 2
+    iq_fp: int = 2
+    lsq: int = 2
+
+    def __post_init__(self) -> None:
+        for dim in DIMENSIONS:
+            v = getattr(self, dim)
+            if v not in (1, 2):
+                raise ValueError(f"{dim} must be 1 or 2, got {v}")
+
+    @property
+    def is_full(self) -> bool:
+        """True when every dimension keeps both groups."""
+        return all(getattr(self, d) == 2 for d in DIMENSIONS)
+
+    def key(self) -> Tuple[int, ...]:
+        """Canonical dict key (counts in DIMENSIONS order)."""
+        return tuple(getattr(self, d) for d in DIMENSIONS)
+
+    def describe(self) -> str:
+        """Human-readable counts string."""
+        return " ".join(f"{d}={getattr(self, d)}" for d in DIMENSIONS)
+
+
+FULL_CONFIG = CoreCounts()
+
+
+def enumerate_configs() -> Iterator[CoreCounts]:
+    """All 64 operable configurations (each dimension keeps >= 1 group)."""
+    for combo in itertools.product((2, 1), repeat=len(DIMENSIONS)):
+        yield CoreCounts(**dict(zip(DIMENSIONS, combo)))
+
+
+def config_probabilities(
+    lam: np.ndarray, group_areas: Mapping[str, float]
+) -> Dict[Tuple[int, ...], np.ndarray]:
+    """P(configuration | λ) for every operable configuration.
+
+    Args:
+        lam: fault densities (array over quadrature points).
+        group_areas: per-group areas from
+            :meth:`repro.yieldmodel.area.AreaModel.group_areas` —
+            one redundant group per dimension plus ``chipkill``.
+
+    Returns:
+        config key → probability array (same shape as ``lam``).  The
+        probabilities of all configs plus the dead-core probability sum
+        to 1 (see tests).
+    """
+    lam = np.asarray(lam, dtype=float)
+    chip_ok = np.exp(-lam * group_areas["chipkill"])
+    per_dim: Dict[str, Dict[int, np.ndarray]] = {}
+    for dim in DIMENSIONS:
+        y = np.exp(-lam * group_areas[dim])
+        per_dim[dim] = {
+            2: y * y,
+            1: 2.0 * y * (1.0 - y),  # either of the two halves survives
+        }
+    out: Dict[Tuple[int, ...], np.ndarray] = {}
+    for cfg in enumerate_configs():
+        prob = chip_ok.copy()
+        for dim in DIMENSIONS:
+            prob = prob * per_dim[dim][getattr(cfg, dim)]
+        out[cfg.key()] = prob
+    return out

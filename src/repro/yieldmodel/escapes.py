@@ -1,0 +1,79 @@
+"""Test escapes and shipped-defect levels (Williams-Brown).
+
+Rescue's salvage flow only works on faults the scan vectors *detect*:
+an undetected fault ships inside a block believed healthy.  The classic
+Williams-Brown model relates defect level to yield and fault coverage:
+
+    DL = 1 − Y^(1 − T)
+
+with Y the true yield and T the fault coverage.  This module applies it
+to the Rescue flow, splitting a block's fault population into detected
+(mapped out, core degraded) and escaped (shipped defective), so the
+benchmarks can report defective-parts-per-million against achieved ATPG
+coverage — the quantitative reason the paper insists on conventional,
+high-coverage scan test rather than bespoke detection logic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.yieldmodel.negbin import negbin_yield
+
+
+def defect_level(yield_fraction: float, coverage: float) -> float:
+    """Williams-Brown defect level: fraction of shipped parts defective.
+
+    Args:
+        yield_fraction: true (fault-free) yield in (0, 1].
+        coverage: fault coverage of the test set in [0, 1].
+    """
+    if not (0.0 < yield_fraction <= 1.0):
+        raise ValueError("yield must be in (0, 1]")
+    if not (0.0 <= coverage <= 1.0):
+        raise ValueError("coverage must be in [0, 1]")
+    return 1.0 - yield_fraction ** (1.0 - coverage)
+
+
+def dppm(yield_fraction: float, coverage: float) -> float:
+    """Defective parts per million shipped."""
+    return 1e6 * defect_level(yield_fraction, coverage)
+
+
+@dataclass(frozen=True)
+class EscapeModel:
+    """Escape accounting for one block (or a whole core).
+
+    Attributes:
+        area_mm2: the fault target's area.
+        density: fault density (faults/mm²).
+        coverage: ATPG fault coverage achieved on the block.
+        alpha: clustering parameter.
+    """
+
+    area_mm2: float
+    density: float
+    coverage: float
+    alpha: float = 2.0
+
+    @property
+    def true_yield(self) -> float:
+        """Clustered (negative binomial) fault-free yield of the area."""
+        return negbin_yield(self.area_mm2, self.density, self.alpha)
+
+    @property
+    def defect_level(self) -> float:
+        """Williams-Brown fraction of shipped parts that are defective."""
+        return defect_level(self.true_yield, self.coverage)
+
+    @property
+    def dppm(self) -> float:
+        """Defect level in parts per million."""
+        return 1e6 * self.defect_level
+
+    def summary(self) -> str:
+        """One-line report."""
+        return (
+            f"area {self.area_mm2:.1f}mm², yield {self.true_yield:.3f}, "
+            f"coverage {self.coverage:.2%} -> {self.dppm:,.0f} DPPM"
+        )

@@ -1,0 +1,130 @@
+"""Monte Carlo chip sampling — an independent check on the analytic YAT.
+
+EQ 2/3 compute expected throughput analytically (per-configuration
+probabilities under gamma-mixed Poisson faults).  This module samples
+actual chips instead: draw a per-chip fault density from the gamma mixing
+distribution, throw faults at the component areas, derive each core's
+degraded configuration, and average the chips' throughput.  Agreement
+between the two (see tests and ``examples/test_floor_demo.py``) validates
+the probability bookkeeping the headline Figure 9 numbers rest on.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, Mapping, Tuple
+
+from repro.yieldmodel.area import AreaModel
+from repro.yieldmodel.configs import DIMENSIONS, CoreCounts
+from repro.yieldmodel.growth import cores_per_chip
+from repro.yieldmodel.pwp import FaultDensityModel
+from repro.yieldmodel.yat import IpcTable
+
+
+@dataclass
+class MonteCarloResult:
+    """Sampled chip statistics."""
+
+    chips: int
+    mean_relative_yat: float
+    dead_core_fraction: float
+    degraded_core_fraction: float
+
+    def summary(self) -> str:
+        """One-line batch report."""
+        return (
+            f"{self.chips} chips: relative YAT "
+            f"{self.mean_relative_yat:.3f}, "
+            f"{100 * self.dead_core_fraction:.1f}% cores dead, "
+            f"{100 * self.degraded_core_fraction:.1f}% degraded"
+        )
+
+
+def _poisson(rng: random.Random, lam: float) -> int:
+    if lam <= 0:
+        return 0
+    if lam > 30:
+        # Normal approximation keeps huge densities cheap and sane.
+        return max(0, round(rng.gauss(lam, math.sqrt(lam))))
+    level = math.exp(-lam)
+    k, p = 0, 1.0
+    while True:
+        p *= rng.random()
+        if p <= level:
+            return k
+        k += 1
+
+
+def sample_core(
+    rng: random.Random,
+    lam: float,
+    group_areas: Mapping[str, float],
+) -> CoreCounts | None:
+    """One core's degraded configuration under fault density ``lam``.
+
+    Returns None for a dead core (chipkill hit or a dimension lost
+    entirely).
+    """
+    if _poisson(rng, lam * group_areas["chipkill"]):
+        return None
+    counts: Dict[str, int] = {}
+    for dim in DIMENSIONS:
+        area = group_areas[dim]
+        ok = sum(
+            1 for _ in range(2) if _poisson(rng, lam * area) == 0
+        )
+        if ok == 0:
+            return None
+        counts[dim] = ok
+    return CoreCounts(**counts)
+
+
+def simulate_chips(
+    density_model: FaultDensityModel,
+    node_nm: float,
+    growth: float,
+    baseline_ipc: float,
+    rescue_ipc: IpcTable,
+    n_chips: int = 2000,
+    seed: int = 0,
+    anchor: Tuple[float, int] = (90.0, 1),
+) -> MonteCarloResult:
+    """Sample ``n_chips`` Rescue chips and average their throughput.
+
+    All cores of a chip share one λ draw — the clustering correlation the
+    gamma mixing encodes.
+    """
+    rng = random.Random(seed)
+    areas = AreaModel(growth=growth)
+    groups = areas.group_areas(node_nm)
+    k = cores_per_chip(
+        node_nm, growth, anchor_node_nm=anchor[0], anchor_cores=anchor[1]
+    )
+    d = density_model.density(node_nm)
+    alpha = density_model.alpha
+    theta = d / alpha
+
+    total = 0.0
+    dead = 0
+    degraded = 0
+    for _ in range(n_chips):
+        lam = rng.gammavariate(alpha, theta)
+        chip_ipc = 0.0
+        for _core in range(k):
+            counts = sample_core(rng, lam, groups)
+            if counts is None:
+                dead += 1
+                continue
+            if not counts.is_full:
+                degraded += 1
+            chip_ipc += rescue_ipc[counts.key()]
+        total += chip_ipc / (k * baseline_ipc)
+    n_cores = n_chips * k
+    return MonteCarloResult(
+        chips=n_chips,
+        mean_relative_yat=total / n_chips,
+        dead_core_fraction=dead / n_cores,
+        degraded_core_fraction=degraded / n_cores,
+    )

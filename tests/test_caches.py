@@ -1,0 +1,84 @@
+"""Unit tests for the cache hierarchy."""
+
+import pytest
+
+from repro.cpu.caches import Cache, MemoryHierarchy
+from repro.cpu.params import CoreParams, MachineConfig
+
+
+class TestCache:
+    def test_cold_miss_then_hit(self):
+        c = Cache(size_kb=1, assoc=2, block=32, latency=2)
+        assert not c.access(0x100)
+        assert c.access(0x100)
+        assert c.access(0x104)  # same block
+
+    def test_lru_within_set(self):
+        c = Cache(size_kb=1, assoc=2, block=32, latency=1)
+        sets = c.sets
+        a, b, d = 0, sets * 32, 2 * sets * 32  # same set, three blocks
+        c.access(a)
+        c.access(b)
+        c.access(a)  # refresh a
+        c.access(d)  # evicts b (LRU)
+        assert c.access(a)
+        assert not c.access(b)
+
+    def test_miss_rate(self):
+        c = Cache(size_kb=1, assoc=1, block=32, latency=1)
+        c.access(0)
+        c.access(0)
+        assert c.miss_rate == pytest.approx(0.5)
+
+    def test_touch_silent_keeps_stats(self):
+        c = Cache(size_kb=1, assoc=2, block=32, latency=1)
+        c.touch_silent(0x40)
+        assert c.hits == 0 and c.misses == 0
+        assert c.access(0x40)  # the silent touch allocated it
+
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            Cache(size_kb=1, assoc=3, block=32, latency=1)
+
+
+class TestHierarchy:
+    def _mh(self, prefetch=False):
+        return MemoryHierarchy(MachineConfig(), prefetch=prefetch)
+
+    def test_latency_levels(self):
+        mh = self._mh()
+        core = CoreParams()
+        addr = 0x1000
+        lat_mem = mh.load_latency(addr)
+        assert lat_mem == core.l1d_latency + core.l2_latency + core.mem_latency
+        # Same address now hits L1.
+        assert mh.load_latency(addr) == core.l1d_latency
+
+    def test_l2_hit_latency(self):
+        mh = self._mh()
+        core = CoreParams()
+        addr = 0x2000
+        mh.load_latency(addr)  # allocate everywhere
+        # Evict from L1 by filling its set, leaving L2 resident.
+        sets = mh.l1d.sets
+        for k in range(1, mh.l1d.assoc + 1):
+            mh.load_latency(addr + k * sets * core.l1d_block)
+        assert mh.load_latency(addr) == core.l1d_latency + core.l2_latency
+
+    def test_prefetch_hides_stream(self):
+        with_pf = self._mh(prefetch=True)
+        without = self._mh(prefetch=False)
+        for addr in range(0, 64 * 1024, 8):
+            with_pf.load_latency(addr)
+            without.load_latency(addr)
+        assert with_pf.l1d.miss_rate < without.l1d.miss_rate / 2
+
+    def test_tech_scaling_raises_mem_latency(self):
+        near = MachineConfig(tech_generations=0)
+        far = MachineConfig(tech_generations=3)
+        assert far.mem_latency > near.mem_latency * 2
+
+    def test_store_touch_allocates(self):
+        mh = self._mh()
+        mh.store_touch(0x3000)
+        assert mh.load_latency(0x3000) == CoreParams().l1d_latency

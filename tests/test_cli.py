@@ -1,0 +1,61 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_isolate_defaults(self):
+        args = build_parser().parse_args(["isolate", "--tiny"])
+        assert args.tiny and args.faults == 300
+
+    def test_yat_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["yat", "--stagnation", "45"])
+
+
+class TestCommands:
+    def test_graph_command(self, capsys):
+        assert main(["graph", "-v"]) == 0
+        out = capsys.readouterr().out
+        assert "baseline:" in out and "ICI satisfied" in out
+        assert "transformation log" in out
+
+    def test_yat_command(self, capsys):
+        assert main(["yat", "--growth", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "18n" in out and "Rescue" in out
+
+    def test_ipc_command_small(self, capsys):
+        code = main([
+            "ipc", "gzip", "--instructions", "1500", "--warmup", "500",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "gzip" in out and "average" in out
+
+    def test_isolate_command_tiny(self, capsys):
+        code = main([
+            "isolate", "--tiny", "--faults", "40", "--seed", "2",
+        ])
+        out = capsys.readouterr().out
+        assert "isolated to the correct block" in out
+        assert code == 0  # 100% isolation expected on Rescue
+
+    def test_lint_command(self, capsys):
+        assert main(["lint", "--tiny"]) == 0
+        assert "ICI holds" in capsys.readouterr().out
+        assert main(["lint", "--tiny", "--baseline"]) == 1
+        assert "violated" in capsys.readouterr().out
+
+    def test_verilog_command(self, capsys, tmp_path):
+        out_file = tmp_path / "core.v"
+        assert main(["verilog", "--tiny", "-o", str(out_file)]) == 0
+        text = out_file.read_text()
+        assert "module rescue_core (" in text
+        assert "scan_out" in text

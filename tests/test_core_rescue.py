@@ -1,0 +1,157 @@
+"""Tests for the Rescue pipeline component model and the fault map."""
+
+import pytest
+
+from repro.core import (
+    FaultMapRegister,
+    build_baseline_graph,
+    build_rescue_graph,
+    check_granularity,
+    rescue_map_out_groups,
+    super_components,
+)
+
+
+class TestBaselineGraph:
+    def test_baseline_violates_half_pipeline_granularity(self):
+        g = build_baseline_graph()
+        report = check_granularity(g, rescue_map_out_groups())
+        assert not report.satisfied
+
+    def test_baseline_violations_match_paper(self):
+        """The paper's called-out violations must all be present."""
+        g = build_baseline_graph()
+        report = check_granularity(g, rescue_map_out_groups())
+        edges = {(e.src, e.dst) for e in report.violations}
+        # Issue: inter-segment compaction both ways (violations 1 and 2).
+        assert ("iq_int_new", "iq_int_old") in edges
+        assert ("iq_int_old", "iq_int_new") in edges
+        # Issue: selection root reads both halves (violation 3).
+        assert ("iq_int_sel_old", "iq_int_root") in edges
+        assert ("iq_int_sel_new", "iq_int_root") in edges
+        # Rename: shared map table (Section 4.4).
+        assert ("rename_table", "rename0") in edges
+        # LSQ: shared insertion logic (Section 4.7).
+        assert ("lsq_insert", "lsq_half0") in edges
+
+    def test_baseline_compaction_is_mutual_intra_cycle(self):
+        """The baseline compacting queue communicates both ways within a
+        cycle — the violation pair that cycle splitting removes."""
+        g = build_baseline_graph()
+        assert not g.comb_is_acyclic()
+        g2, _ = build_rescue_graph()
+        assert g2.comb_is_acyclic()
+
+
+class TestRescueGraph:
+    def test_rescue_satisfies_half_pipeline_granularity(self):
+        g, _ = build_rescue_graph()
+        report = check_granularity(g)
+        assert report.satisfied, report.describe()
+
+    def test_rescue_comb_acyclic(self):
+        g, _ = build_rescue_graph()
+        assert g.comb_is_acyclic()
+
+    def test_lsq_supercomponent_matches_paper(self):
+        """Section 4.7: an LSQ half and its two first-cycle sub-trees form
+        one super-component."""
+        g, _ = build_rescue_graph()
+        supers = super_components(g)
+        expected = frozenset(
+            {"lsq_half0", "lsq_treeA_sub0", "lsq_treeB_sub0", "lsq_insert#0"}
+        )
+        assert expected in supers
+
+    def test_latency_costs_match_section_5(self):
+        """Two extra frontend stages (routing + rename split) and one
+        extra issue-to-execute stage — the simulator's Section 5 knobs."""
+        g, records = build_rescue_graph()
+        frontend_extra = g.extra_latency.get("frontend_route", 0) + sum(
+            r.extra_latency for r in records if r.kind == "cycle_split"
+            and r.target.startswith("rename_table")
+        )
+        assert frontend_extra == 2
+        assert g.extra_latency.get("issue_route", 0) == 1
+
+    def test_compaction_split_costs_no_stage(self):
+        _, records = build_rescue_graph()
+        compaction = [
+            r for r in records
+            if r.kind == "cycle_split" and r.target.startswith("iq_")
+        ]
+        assert compaction and all(r.extra_latency == 0 for r in compaction)
+
+    def test_area_overhead_from_privatization(self):
+        _, records = build_rescue_graph()
+        extra = sum(r.extra_area for r in records)
+        assert extra > 0
+
+    def test_odd_width_rejected(self):
+        with pytest.raises(ValueError):
+            build_rescue_graph(width=3)
+
+    def test_groups_cover_all_logic_components(self):
+        g, _ = build_rescue_graph()
+        for name in g.logic_components():
+            assert g.components[name].group, f"{name} has no map-out group"
+
+
+class TestFaultMapRegister:
+    def test_bit_count_is_2n_plus_4(self):
+        assert FaultMapRegister(4).n_bits == 12
+        assert FaultMapRegister(8).n_bits == 20
+
+    def test_roundtrip_through_fuses(self):
+        reg = FaultMapRegister(4)
+        reg.mark_faulty("frontend1")
+        reg.mark_faulty("backend3")
+        reg.mark_faulty("iq_new")
+        reg.mark_faulty("lsq0")
+        again = FaultMapRegister.from_bits(reg.to_bits(), width=4)
+        assert again.frontend == reg.frontend
+        assert again.backend == reg.backend
+        assert again.iq == reg.iq
+        assert again.lsq == reg.lsq
+
+    def test_degraded_config_counts(self):
+        reg = FaultMapRegister(4)
+        reg.mark_faulty("frontend0")
+        reg.mark_faulty("backend1")
+        reg.mark_faulty("backend2")
+        cfg = reg.degraded_config()
+        assert cfg.frontend_ways == 3
+        assert cfg.backend_ways == 2
+        assert cfg.iq_halves == 2
+        assert cfg.ok and not cfg.is_full
+
+    def test_dead_when_all_frontends_fail(self):
+        reg = FaultMapRegister(2)
+        reg.mark_faulty("frontend0")
+        reg.mark_faulty("frontend1")
+        assert not reg.degraded_config().ok
+
+    def test_dead_when_both_iq_halves_fail(self):
+        reg = FaultMapRegister(4)
+        reg.mark_faulty("iq_old")
+        reg.mark_faulty("iq_new")
+        assert not reg.degraded_config().ok
+
+    def test_route_frontend_skips_faulty_ways(self):
+        reg = FaultMapRegister(4)
+        reg.mark_faulty("frontend1")
+        routing = reg.route_frontend(4)
+        # 3 working ways: earliest instructions go to ways 0, 2, 3.
+        assert routing == [(0, 0), (1, 2), (2, 3)]
+
+    def test_unknown_block_rejected(self):
+        with pytest.raises(ValueError):
+            FaultMapRegister(4).mark_faulty("nonsense")
+
+    def test_way_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            FaultMapRegister(2).mark_faulty("backend5")
+
+    def test_bad_bit_vector_length_rejected(self):
+        with pytest.raises(ValueError):
+            FaultMapRegister.from_bits([0] * 5, width=4)

@@ -1,0 +1,94 @@
+"""Tests for the degraded-configuration bridge and the IPC cache."""
+
+import pytest
+
+from repro.cpu import MachineConfig
+from repro.cpu.degraded import (
+    IpcCache,
+    degraded_params,
+    rescue_ipc_table,
+    simulate_config,
+)
+from repro.yieldmodel.configs import CoreCounts, enumerate_configs
+
+
+class TestDegradedParams:
+    def test_counts_map_to_knobs(self):
+        base = MachineConfig(rescue=True)
+        cfg = degraded_params(
+            base, CoreCounts(frontend=1, iq_int=1, lsq=1)
+        )
+        assert cfg.frontend_groups == 1
+        assert cfg.iq_int_halves == 1
+        assert cfg.lsq_halves == 1
+        assert cfg.int_backend_groups == 2
+
+    def test_baseline_machine_rejected(self):
+        with pytest.raises(ValueError):
+            degraded_params(MachineConfig(rescue=False), CoreCounts())
+
+
+class TestIpcCache:
+    def test_key_distinguishes_configs(self):
+        a = IpcCache.key("gzip", MachineConfig(rescue=True), 1000, 1)
+        b = IpcCache.key(
+            "gzip", MachineConfig(rescue=True, lsq_halves=1), 1000, 1
+        )
+        c = IpcCache.key("gzip", MachineConfig(rescue=True), 1000, 2)
+        assert len({a, b, c}) == 3
+
+    def test_cache_roundtrip(self, tmp_path):
+        cache = IpcCache(tmp_path / "ipc.json")
+        cfg = MachineConfig(rescue=True)
+        v1 = cache.get_or_run("gzip", cfg, n_instructions=800, warmup=400)
+        # Second instance must read the persisted value, not re-simulate.
+        cache2 = IpcCache(tmp_path / "ipc.json")
+        key = IpcCache.key("gzip", cfg, 800, 12345, 400)
+        assert cache2._data[key] == v1
+
+    def test_simulate_config_returns_positive_ipc(self):
+        ipc = simulate_config(
+            "eon", MachineConfig(rescue=True),
+            n_instructions=1500, warmup=500,
+        )
+        assert ipc > 0
+
+
+class TestRescueIpcTable:
+    def test_compose_covers_all_64(self, tmp_path):
+        cache = IpcCache(tmp_path / "ipc.json")
+        table = rescue_ipc_table(
+            "gzip", MachineConfig(rescue=True), cache=cache,
+            n_instructions=1200, warmup=400, compose=True,
+        )
+        assert len(table) == 64
+        assert all(v >= 0 for v in table.values())
+
+    def test_composed_values_multiply(self, tmp_path):
+        cache = IpcCache(tmp_path / "ipc.json")
+        table = rescue_ipc_table(
+            "gzip", MachineConfig(rescue=True), cache=cache,
+            n_instructions=1200, warmup=400, compose=True,
+        )
+        full = table[CoreCounts().key()]
+        fe = table[CoreCounts(frontend=1).key()]
+        lsq = table[CoreCounts(lsq=1).key()]
+        both = table[CoreCounts(frontend=1, lsq=1).key()]
+        if full > 0:
+            # Ratios are clamped at 1 (degradation never helps), so the
+            # composition multiplies the clamped single-dim ratios.
+            expected = full * (fe / full) * (lsq / full)
+            assert both == pytest.approx(expected, rel=1e-9)
+            assert fe <= full + 1e-12 and lsq <= full + 1e-12
+
+    def test_full_config_present(self, tmp_path):
+        cache = IpcCache(tmp_path / "ipc.json")
+        table = rescue_ipc_table(
+            "mcf", MachineConfig(rescue=True), cache=cache,
+            n_instructions=800, warmup=200, compose=True,
+        )
+        assert CoreCounts().key() in table
+        # Degraded configurations never beat full: ratios are clamped.
+        full = table[CoreCounts().key()]
+        for cfg in enumerate_configs():
+            assert table[cfg.key()] <= full + 1e-9

@@ -1,0 +1,71 @@
+"""Tests for classical cone diagnosis (the path ICI makes unnecessary)."""
+
+import pytest
+
+from repro.atpg.diagnosis import ConeDiagnoser
+from repro.netlist import GateType, NetBuilder
+
+
+def _two_stage():
+    """in0 -> [A: not] -> flop0 ; in1 -> [B: not] -> flop1, plus a flop2
+    fed by both blocks (shared observation point)."""
+    bld = NetBuilder(name="diag")
+    in0 = bld.nl.add_input("in0")
+    in1 = bld.nl.add_input("in1")
+    with bld.component("A"):
+        ya = bld.gate(GateType.NOT, in0)
+        bld.register([ya], "ra")
+    with bld.component("B"):
+        yb = bld.gate(GateType.NOT, in1)
+        bld.register([yb], "rb")
+    with bld.component("C"):
+        yc = bld.gate(GateType.AND, ya, yb)
+        bld.register([yc], "rc")
+    return bld.nl, (ya, yb, yc)
+
+
+class TestConeDiagnosis:
+    def test_single_failing_flop_restricts_to_cone(self):
+        nl, (ya, yb, yc) = _two_stage()
+        d = ConeDiagnoser(nl)
+        result = d.diagnose([0])  # flop ra fails
+        assert result.candidate_components == frozenset({"A"})
+        assert result.resolved
+
+    def test_shared_observation_is_ambiguous(self):
+        nl, _ = _two_stage()
+        d = ConeDiagnoser(nl)
+        result = d.diagnose([2])  # flop rc fails: A, B, or C
+        assert result.candidate_components == frozenset({"A", "B", "C"})
+        assert not result.resolved
+
+    def test_intersection_narrows(self):
+        nl, _ = _two_stage()
+        d = ConeDiagnoser(nl)
+        # Both ra and rc fail: only block A is in both cones.
+        result = d.diagnose([0, 2])
+        assert result.candidate_components == frozenset({"A"})
+
+    def test_strict_mode_uses_passing_observations(self):
+        nl, _ = _two_stage()
+        d = ConeDiagnoser(nl)
+        # rc fails, ra passes: strict mode drops A's gate.
+        result = d.diagnose([2], strict=True, passing_flops=[0])
+        assert "A" not in result.candidate_components
+
+    def test_no_failures_means_no_candidates(self):
+        nl, _ = _two_stage()
+        result = ConeDiagnoser(nl).diagnose([])
+        assert not result.candidate_gates
+        assert result.n_failing_observations == 0
+
+    def test_summary_text(self):
+        nl, _ = _two_stage()
+        result = ConeDiagnoser(nl).diagnose([2])
+        assert "candidate gates" in result.summary()
+
+    def test_inconsistent_failures_yield_empty_set(self):
+        nl, _ = _two_stage()
+        # ra and rb have disjoint cones: no single stuck-at explains both.
+        result = ConeDiagnoser(nl).diagnose([0, 1])
+        assert result.candidate_gates == frozenset()

@@ -1,0 +1,84 @@
+"""Tests for the escape (DPPM) model and the trace statistics tool."""
+
+import pytest
+
+from repro.cpu.isa import OpClass
+from repro.workloads import PROFILES, generate_trace, profile
+from repro.workloads.stats import trace_statistics
+from repro.yieldmodel.escapes import EscapeModel, defect_level, dppm
+
+
+class TestDefectLevel:
+    def test_perfect_coverage_ships_no_defects(self):
+        assert defect_level(0.8, 1.0) == pytest.approx(0.0)
+
+    def test_zero_coverage_ships_all_faulty_parts(self):
+        assert defect_level(0.8, 0.0) == pytest.approx(0.2)
+
+    def test_monotone_in_coverage(self):
+        dls = [defect_level(0.7, c) for c in (0.5, 0.9, 0.99)]
+        assert dls[0] > dls[1] > dls[2]
+
+    def test_dppm_scale(self):
+        assert dppm(0.9, 0.99) == pytest.approx(
+            1e6 * defect_level(0.9, 0.99)
+        )
+
+    def test_bounds_enforced(self):
+        with pytest.raises(ValueError):
+            defect_level(0.0, 0.5)
+        with pytest.raises(ValueError):
+            defect_level(0.9, 1.5)
+
+    def test_escape_model_summary(self):
+        m = EscapeModel(area_mm2=107, density=0.0014, coverage=0.995)
+        assert 0 < m.dppm < 10_000
+        assert "DPPM" in m.summary()
+
+    def test_higher_density_more_escapes(self):
+        low = EscapeModel(area_mm2=107, density=0.001, coverage=0.99)
+        high = EscapeModel(area_mm2=107, density=0.01, coverage=0.99)
+        assert high.dppm > low.dppm
+
+
+class TestTraceStatistics:
+    def test_mix_matches_profile_weights(self):
+        prof = profile("gzip")
+        stats = trace_statistics(generate_trace(prof, 20_000))
+        # Loads should land near the profile weight (branches are added
+        # on top of the body recipe, so compare within a tolerance).
+        want = prof.mix[OpClass.LOAD] / sum(prof.mix.values())
+        assert stats.mix[OpClass.LOAD] == pytest.approx(want, abs=0.08)
+
+    def test_dep_distance_scales_inversely_with_dep_p(self):
+        tight = profile("mcf")      # dep_p 0.33
+        loose = profile("bzip2")    # dep_p 0.168
+        s_tight = trace_statistics(generate_trace(tight, 10_000))
+        s_loose = trace_statistics(generate_trace(loose, 10_000))
+        assert s_loose.mean_dep_distance > s_tight.mean_dep_distance
+
+    def test_branch_fraction_positive_everywhere(self):
+        for prof in PROFILES[:6]:
+            stats = trace_statistics(generate_trace(prof, 5_000))
+            assert 0.01 < stats.branch_fraction < 0.4
+
+    def test_loop_codes_branch_structure(self):
+        """FP loop codes: branches are dominated by rarely-taken chaos
+        checks plus reliably-taken loop-backs — both trivially
+        predictable, which is what gives swim its ~98% accuracy."""
+        stats = trace_statistics(generate_trace(profile("swim"), 10_000))
+        assert 0.05 < stats.taken_fraction < 0.6
+        assert stats.branch_fraction < 0.25
+
+    def test_memory_footprint_bounded_by_working_set(self):
+        prof = profile("crafty")
+        stats = trace_statistics(generate_trace(prof, 10_000))
+        assert stats.max_addr <= prof.working_set_kb * 1024 * 2
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            trace_statistics([])
+
+    def test_summary_text(self):
+        stats = trace_statistics(generate_trace(profile("art"), 2_000))
+        assert "instrs" in stats.summary()

@@ -1,0 +1,63 @@
+"""Additional ATPG-flow behaviours: deterministic caps and compaction."""
+
+import numpy as np
+import pytest
+
+from repro.atpg import grade_faults, run_atpg
+from repro.atpg.collapse import collapse_faults
+from repro.atpg.faults import full_fault_universe
+from repro.netlist import GateType, Netlist
+
+
+def _chain_circuit(depth=12):
+    """An AND chain: plenty of random-resistant faults near the end."""
+    nl = Netlist("chain")
+    nets = [nl.add_input(f"i{k}") for k in range(depth + 1)]
+    cur = nets[0]
+    for k in range(depth):
+        cur = nl.add_gate(GateType.AND, [cur, nets[k + 1]])
+    nl.mark_output(cur)
+    return nl
+
+
+class TestDeterministicCap:
+    def test_capped_flow_reports_aborted(self):
+        nl = _chain_circuit()
+        capped = run_atpg(
+            nl, seed=3, batch_size=4, max_random_batches=1,
+            max_deterministic=0, compact=False,
+        )
+        uncapped = run_atpg(nl, seed=3, batch_size=4, max_random_batches=1)
+        assert capped.n_aborted >= uncapped.n_aborted
+        assert capped.n_detected <= uncapped.n_detected
+
+    def test_uncapped_chain_reaches_full_coverage(self):
+        nl = _chain_circuit()
+        result = run_atpg(nl, seed=0)
+        assert result.coverage == 1.0
+
+
+class TestFlowCompaction:
+    def test_compaction_never_loses_coverage(self):
+        nl = _chain_circuit()
+        loose = run_atpg(nl, seed=1, compact=False)
+        tight = run_atpg(nl, seed=1, compact=True)
+        targets = collapse_faults(nl, full_fault_universe(nl))
+        g_loose = grade_faults(nl, targets, loose.patterns)
+        g_tight = grade_faults(nl, targets, tight.patterns)
+        assert set(g_tight.detected) == set(g_loose.detected)
+        assert tight.n_vectors <= loose.n_vectors
+
+    def test_result_summary_mentions_vectors(self):
+        nl = _chain_circuit(4)
+        result = run_atpg(nl, seed=0)
+        assert "vectors" in result.summary()
+
+    def test_empty_pattern_matrix_allowed(self):
+        """A design with no testable faults yields an empty, well-formed
+        result rather than crashing."""
+        nl = Netlist("empty")
+        a = nl.add_input("a")
+        nl.mark_output(a)
+        result = run_atpg(nl, seed=0)
+        assert result.patterns.ndim == 2

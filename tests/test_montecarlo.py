@@ -1,0 +1,86 @@
+"""Monte Carlo vs analytic YAT cross-validation."""
+
+import pytest
+
+from repro.yieldmodel import FaultDensityModel, YatModel
+from repro.yieldmodel.montecarlo import (
+    MonteCarloResult,
+    sample_core,
+    simulate_chips,
+)
+from repro.yieldmodel.yat import flat_rescue_ipc
+
+import random
+
+
+def _penalty(cfg):
+    factor = 1.0
+    for dim, cost in (("frontend", 0.82), ("int_backend", 0.78),
+                      ("fp_backend", 0.96), ("iq_int", 0.93),
+                      ("iq_fp", 0.98), ("lsq", 0.94)):
+        if getattr(cfg, dim) == 1:
+            factor *= cost
+    return factor
+
+
+def _model(growth=0.3):
+    return YatModel(
+        density=FaultDensityModel(stagnation_node_nm=90),
+        growth=growth,
+        baseline_ipc=2.05,
+        rescue_ipc=flat_rescue_ipc(2.0, _penalty),
+    )
+
+
+class TestSampleCore:
+    def test_zero_density_is_always_full(self):
+        rng = random.Random(0)
+        areas = {"chipkill": 40.0, "frontend": 6.0, "int_backend": 8.0,
+                 "fp_backend": 11.0, "iq_int": 1.5, "iq_fp": 1.0,
+                 "lsq": 3.5}
+        for _ in range(20):
+            counts = sample_core(rng, 0.0, areas)
+            assert counts is not None and counts.is_full
+
+    def test_huge_density_kills(self):
+        rng = random.Random(0)
+        areas = {"chipkill": 40.0, "frontend": 6.0, "int_backend": 8.0,
+                 "fp_backend": 11.0, "iq_int": 1.5, "iq_fp": 1.0,
+                 "lsq": 3.5}
+        dead = sum(
+            sample_core(rng, 10.0, areas) is None for _ in range(50)
+        )
+        assert dead == 50
+
+
+class TestMonteCarloAgreement:
+    @pytest.mark.parametrize("node", [90, 32, 18])
+    def test_matches_analytic_within_tolerance(self, node):
+        model = _model()
+        analytic = model.evaluate(node).rescue
+        mc = simulate_chips(
+            model.density, node, model.growth,
+            model.baseline_ipc, model.rescue_ipc,
+            n_chips=3000, seed=7,
+        )
+        # Monte Carlo with 3000 chips: a few percent of statistical noise.
+        assert mc.mean_relative_yat == pytest.approx(analytic, abs=0.03)
+
+    def test_summary_format(self):
+        mc = MonteCarloResult(
+            chips=10, mean_relative_yat=0.5,
+            dead_core_fraction=0.1, degraded_core_fraction=0.2,
+        )
+        assert "10 chips" in mc.summary()
+
+    def test_degraded_fraction_grows_with_density(self):
+        model = _model()
+        near = simulate_chips(
+            model.density, 90, 0.3, model.baseline_ipc, model.rescue_ipc,
+            n_chips=1500, seed=3,
+        )
+        far = simulate_chips(
+            model.density, 18, 0.3, model.baseline_ipc, model.rescue_ipc,
+            n_chips=1500, seed=3,
+        )
+        assert far.degraded_core_fraction > near.degraded_core_fraction

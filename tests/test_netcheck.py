@@ -1,0 +1,74 @@
+"""Tests for the gate-level ICI checker (the design lint)."""
+
+import pytest
+
+from repro.core.netcheck import check_netlist_ici
+from repro.netlist import GateType, NetBuilder
+from repro.rtl import RtlParams, build_baseline_rtl, build_rescue_rtl
+
+
+def _two_blocks(cross_comb: bool):
+    """Blocks A and B; when ``cross_comb``, B's flop reads A's logic
+    combinationally (the ICI violation)."""
+    bld = NetBuilder(name="lint")
+    a = bld.nl.add_input("a")
+    with bld.component("A/logic"):
+        ya = bld.gate(GateType.NOT, a)
+        qa = bld.register([ya], "ra")
+    with bld.component("B/logic"):
+        src = ya if cross_comb else qa[0]
+        yb = bld.gate(GateType.NOT, src)
+        bld.register([yb], "rb")
+    return bld.nl
+
+
+class TestNetlistIci:
+    def test_latched_communication_passes(self):
+        report = check_netlist_ici(_two_blocks(cross_comb=False))
+        assert report.satisfied
+        assert report.checked_observers == 2
+
+    def test_intra_cycle_communication_flagged(self):
+        report = check_netlist_ici(_two_blocks(cross_comb=True))
+        assert not report.satisfied
+        v = report.violations[0]
+        assert v.observer.startswith("rb")
+        assert "A" in v.blocks
+
+    def test_describe_mentions_observer(self):
+        report = check_netlist_ici(_two_blocks(cross_comb=True))
+        assert "rb" in report.describe()
+        good = check_netlist_ici(_two_blocks(cross_comb=False))
+        assert "holds" in good.describe()
+
+    def test_exempt_blocks_ignored(self):
+        report = check_netlist_ici(
+            _two_blocks(cross_comb=True), exempt_blocks=["A"]
+        )
+        assert report.satisfied
+
+    def test_cone_blocks_recorded(self):
+        report = check_netlist_ici(_two_blocks(cross_comb=False))
+        assert report.cone_blocks["ra[0]"] == {"A"}
+        assert report.cone_blocks["rb[0]"] == {"B"}
+
+
+class TestPipelineModels:
+    def test_rescue_rtl_passes_the_lint(self):
+        model = build_rescue_rtl(RtlParams.tiny())
+        report = check_netlist_ici(
+            model.netlist, exempt_blocks=["chipkill"]
+        )
+        assert report.satisfied, report.describe()
+
+    def test_baseline_rtl_fails_the_lint(self):
+        model = build_baseline_rtl(RtlParams.tiny())
+        report = check_netlist_ici(
+            model.netlist,
+            exempt_blocks=["chipkill", "rename_table", "lsq_insert",
+                           "iq_root", "regfile"],
+        )
+        assert not report.satisfied
+        # The known violations: compaction and shared structures.
+        observers = {v.observer.split("[")[0] for v in report.violations}
+        assert observers  # at least the queue entries

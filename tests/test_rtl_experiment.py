@@ -1,0 +1,54 @@
+"""Tests for the RTL experiment drivers (generate_tests helpers)."""
+
+import pytest
+
+from repro.rtl import RtlParams, build_rescue_rtl
+from repro.rtl.experiment import (
+    IsolationStats,
+    TestSetup,
+    generate_tests,
+    scan_chain_table,
+)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    return generate_tests(
+        build_rescue_rtl(RtlParams.tiny()), seed=0, max_deterministic=0
+    )
+
+
+class TestGenerateTests:
+    def test_setup_wires_everything(self, setup):
+        assert isinstance(setup, TestSetup)
+        assert len(setup.chain) == len(setup.model.netlist.flops)
+        assert setup.atpg.n_vectors > 0
+        assert setup.table.chain is setup.chain
+
+    def test_po_components_labeled(self, setup):
+        nl = setup.model.netlist
+        assert len(setup.table.po_components) == len(nl.primary_outputs)
+        assert all(setup.table.po_components)
+
+    def test_table3_row_consistency(self, setup):
+        row = scan_chain_table(setup)
+        assert row["cells"] == len(setup.chain)
+        assert row["vectors"] == setup.atpg.n_vectors
+        assert row["faults"] >= row["collapsed_faults"]
+        # Cycle accounting: (V+1)*L + V.
+        expected = (row["vectors"] + 1) * row["cells"] + row["vectors"]
+        assert row["cycles"] == expected
+
+
+class TestIsolationStats:
+    def test_rates_with_no_detected(self):
+        stats = IsolationStats(inserted=5, undetected=5)
+        assert stats.detected == 0
+        assert stats.correct_rate == 1.0
+
+    def test_summary_counts(self):
+        stats = IsolationStats(
+            inserted=10, undetected=2, correct=7, ambiguous=1, wrong=0
+        )
+        text = stats.summary()
+        assert "10 faults inserted" in text and "8 detected" in text

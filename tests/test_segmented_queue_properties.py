@@ -1,0 +1,80 @@
+"""Property tests for the Rescue segmented issue queue."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cpu.isa import Instr, OpClass
+from repro.cpu.queues import SegmentedIssueQueue
+
+LIMITS = {"slots": 2, "alu": 2, "mul": 1, "mem": 1}
+
+
+@given(
+    size=st.integers(6, 20),
+    buf=st.integers(1, 4),
+    ops=st.lists(st.integers(0, 2), max_size=80),
+)
+@settings(max_examples=50, deadline=None)
+def test_segment_capacities_respected(size, buf, ops):
+    """Under arbitrary insert/select/tick interleavings: the old half,
+    buffer, and new half never exceed their capacities, and total entries
+    never exceed the queue's resources."""
+    if size - buf < 2:
+        return
+    q = SegmentedIssueQueue(size=size, compaction_buffer=buf)
+    cycle = 0
+    inserted = 0
+    for op in ops:
+        if op == 0 and q.can_insert():
+            q.insert(Instr(seq=inserted, op=OpClass.IALU, pc=0), cycle)
+            inserted += 1
+        elif op == 1:
+            q.select_halves(cycle, lambda i, c: True, LIMITS)
+        else:
+            cycle += 1
+            q.tick(cycle)
+        assert len(q._seg("old")) <= q.half_cap
+        assert len(q._seg("buf")) <= q.buffer_cap
+        assert len(q._seg("new")) <= q.half_cap
+        assert q.occupancy() <= q.size
+
+
+@given(
+    n_insert=st.integers(1, 10),
+    ticks=st.integers(0, 30),
+)
+@settings(max_examples=50, deadline=None)
+def test_age_order_preserved_through_compaction(n_insert, ticks):
+    """Entries drain new→buffer→old strictly oldest-first: at any time
+    every old-half entry is older than every buffer entry, which is older
+    than every new-half entry."""
+    q = SegmentedIssueQueue(size=12, compaction_buffer=2)
+    for s in range(n_insert):
+        if q.can_insert():
+            q.insert(Instr(seq=s, op=OpClass.IALU, pc=0), 0)
+    for t in range(1, ticks + 1):
+        q.tick(t)
+        old = [e.instr.seq for e in q._seg("old")]
+        buf = [e.instr.seq for e in q._seg("buf")]
+        new = [e.instr.seq for e in q._seg("new")]
+        if old and buf:
+            assert max(old) < min(buf)
+        if buf and new:
+            assert max(buf) < min(new)
+        if old and new and not buf:
+            assert max(old) < min(new)
+
+
+@given(ticks=st.integers(3, 40))
+@settings(max_examples=30, deadline=None)
+def test_everything_eventually_reaches_old_half(ticks):
+    """With no selection pressure, compaction drains all entries into the
+    old half within a bounded number of cycles."""
+    q = SegmentedIssueQueue(size=12, compaction_buffer=2)
+    n = 5
+    for s in range(n):
+        q.insert(Instr(seq=s, op=OpClass.IALU, pc=0), 0)
+    for t in range(1, ticks + 1):
+        q.tick(t)
+    # Each entry needs at most 3 cycles per buffer batch of 2.
+    if ticks >= 3 * n:
+        assert len(q._seg("old")) == n

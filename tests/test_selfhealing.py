@@ -1,0 +1,73 @@
+"""Tests for the self-healing arrays extension."""
+
+import pytest
+
+from repro.yieldmodel import AreaModel, FaultDensityModel, YatModel
+from repro.yieldmodel.selfhealing import (
+    ARRAY_FRACTION_OF_CHIPKILL,
+    SelfHealingModel,
+    yat_with_self_healing,
+)
+from repro.yieldmodel.yat import flat_rescue_ipc
+
+
+def _model():
+    return YatModel(
+        density=FaultDensityModel(stagnation_node_nm=90),
+        growth=0.3,
+        baseline_ipc=2.0,
+        rescue_ipc=flat_rescue_ipc(1.95, lambda cfg: 0.9),
+    )
+
+
+class TestSelfHealingAreas:
+    def test_full_coverage_shrinks_chipkill(self):
+        base = AreaModel(growth=0.3)
+        healing = SelfHealingModel(array_coverage=1.0)
+        plain = base.group_areas(45)
+        healed = healing.protected_group_areas(base, 45)
+        expected = plain["chipkill"] * (1 - ARRAY_FRACTION_OF_CHIPKILL)
+        assert healed["chipkill"] == pytest.approx(expected)
+
+    def test_zero_coverage_is_identity(self):
+        base = AreaModel(growth=0.3)
+        healing = SelfHealingModel(array_coverage=0.0)
+        assert healing.protected_group_areas(base, 45) == base.group_areas(45)
+
+    def test_copy_coverage_shrinks_groups(self):
+        base = AreaModel(growth=0.3)
+        healing = SelfHealingModel(array_coverage=0.0, copy_coverage=0.5)
+        plain = base.group_areas(45)
+        healed = healing.protected_group_areas(base, 45)
+        assert healed["frontend"] < plain["frontend"]
+        assert healed["chipkill"] == plain["chipkill"]
+
+    def test_coverage_bounds_enforced(self):
+        with pytest.raises(ValueError):
+            SelfHealingModel(array_coverage=1.5)
+        with pytest.raises(ValueError):
+            SelfHealingModel(copy_coverage=-0.1)
+
+
+class TestSelfHealingYat:
+    def test_healing_never_hurts(self):
+        model = _model()
+        healing = SelfHealingModel(array_coverage=1.0)
+        for node in (90, 45, 18):
+            plain, healed = yat_with_self_healing(model, node, healing)
+            assert healed >= plain.rescue - 1e-12
+
+    def test_gain_grows_with_density(self):
+        model = _model()
+        healing = SelfHealingModel(array_coverage=1.0)
+        plain90, healed90 = yat_with_self_healing(model, 90, healing)
+        plain18, healed18 = yat_with_self_healing(model, 18, healing)
+        gain90 = healed90 - plain90.rescue
+        gain18 = healed18 - plain18.rescue
+        assert gain18 > gain90
+
+    def test_zero_coverage_matches_plain(self):
+        model = _model()
+        healing = SelfHealingModel(array_coverage=0.0)
+        plain, healed = yat_with_self_healing(model, 32, healing)
+        assert healed == pytest.approx(plain.rescue, rel=1e-6)

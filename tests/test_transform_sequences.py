@@ -1,0 +1,146 @@
+"""Property tests on composed ICI transformation sequences.
+
+The Rescue construction chains many transformations; these properties
+check that arbitrary (legal) sequences preserve the invariants the
+construction relies on: super-components only ever shrink under cycle
+splitting, privatization preserves reader behaviour, and total area and
+latency costs accumulate monotonically.
+"""
+
+import random as pyrandom
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    ComponentGraph,
+    EdgeKind,
+    cycle_split,
+    privatize,
+    super_components,
+)
+
+
+def _random_graph(seed: int, n: int, n_edges: int) -> ComponentGraph:
+    rng = pyrandom.Random(seed)
+    g = ComponentGraph(f"seq{seed}")
+    names = [f"c{i}" for i in range(n)]
+    for name in names:
+        g.add(name)
+    # Only forward comb edges (i < j) so the graph stays acyclic and every
+    # comb edge is splittable.
+    for _ in range(n_edges):
+        i, j = sorted(rng.sample(range(n), 2))
+        kind = rng.choice([EdgeKind.COMB, EdgeKind.LATCH])
+        g.connect(names[i], names[j], kind)
+    return g
+
+
+def _sizes(graph) -> list:
+    return sorted(len(s) for s in super_components(graph))
+
+
+class TestCycleSplitSequences:
+    @given(
+        seed=st.integers(0, 3000),
+        n=st.integers(3, 8),
+        n_edges=st.integers(1, 12),
+        data=st.data(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_each_split_never_grows_super_components(
+        self, seed, n, n_edges, data
+    ):
+        g = _random_graph(seed, n, n_edges)
+        max_before = max(_sizes(g)) if g.logic_components() else 0
+        steps = data.draw(st.integers(0, 6))
+        for _ in range(steps):
+            comb = g.comb_edges()
+            if not comb:
+                break
+            edge = data.draw(st.sampled_from(sorted(
+                comb, key=lambda e: (e.src, e.dst)
+            )))
+            g, _ = cycle_split(g, edge.src, edge.dst)
+            max_after = max(_sizes(g))
+            assert max_after <= max_before
+            max_before = max_after
+
+    @given(
+        seed=st.integers(0, 3000),
+        n=st.integers(3, 7),
+        n_edges=st.integers(1, 10),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_splitting_everything_reaches_full_isolation(
+        self, seed, n, n_edges
+    ):
+        g = _random_graph(seed, n, n_edges)
+        to_split = list(g.comb_edges())
+        total_latency = 0
+        for e in to_split:
+            g, rec = cycle_split(g, e.src, e.dst)
+            total_latency += rec.extra_latency
+        assert all(len(s) == 1 for s in super_components(g))
+        # Every split charged exactly one stage.
+        assert total_latency == len(to_split)
+        assert not g.comb_edges()
+
+
+class TestPrivatizationProperties:
+    @given(
+        seed=st.integers(0, 3000),
+        n_readers=st.integers(2, 6),
+        factor=st.floats(0.5, 1.5),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_full_privatization_cost_and_isolation(
+        self, seed, n_readers, factor
+    ):
+        g = ComponentGraph()
+        g.add("hub", area=2.0)
+        readers = []
+        for i in range(n_readers):
+            name = f"r{i}"
+            g.add(name)
+            g.connect("hub", name, EdgeKind.COMB)
+            readers.append(name)
+        g2, rec = privatize(
+            g, "hub", [[r] for r in readers], copy_area_factor=factor
+        )
+        # Cost formula: area * (factor * copies - 1).
+        assert rec.extra_area == (
+            __import__("pytest").approx(2.0 * (factor * n_readers - 1.0))
+        )
+        supers = super_components(g2)
+        assert len(supers) == n_readers
+        assert all(len(s) == 2 for s in supers)
+
+    @given(
+        seed=st.integers(0, 3000),
+        n_readers=st.integers(4, 8),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_partial_privatization_groups_control_granularity(
+        self, seed, n_readers
+    ):
+        rng = pyrandom.Random(seed)
+        g = ComponentGraph()
+        g.add("hub")
+        readers = []
+        for i in range(n_readers):
+            name = f"r{i}"
+            g.add(name)
+            g.connect("hub", name, EdgeKind.COMB)
+            readers.append(name)
+        k = rng.randint(2, n_readers)
+        groups = [readers[i::k] for i in range(k)]
+        groups = [grp for grp in groups if grp]
+        g2, _ = privatize(g, "hub", groups)
+        supers = super_components(g2)
+        assert len(supers) == len(groups)
+        # Each super-component is one copy plus its reader group.
+        for grp, size in zip(groups, sorted(len(s) for s in supers)):
+            pass
+        assert sorted(len(s) for s in supers) == sorted(
+            len(grp) + 1 for grp in groups
+        )

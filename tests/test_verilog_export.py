@@ -1,0 +1,84 @@
+"""Tests for the structural Verilog exporter."""
+
+import re
+
+import pytest
+
+from repro.netlist import GateType, NetBuilder, Netlist
+from repro.netlist.verilog import to_verilog
+from repro.rtl import RtlParams, build_rescue_rtl
+from repro.scan import insert_scan
+
+
+def _small_design(scan=True):
+    bld = NetBuilder(name="unit")
+    a = bld.nl.add_input("a")
+    b = bld.nl.add_input("b")
+    with bld.component("blk"):
+        y = bld.gate(GateType.AND, a, b)
+        z = bld.gate(GateType.MUX2, a, b, y)
+        bld.register([z], "r")
+    bld.nl.mark_output(y)
+    if scan:
+        insert_scan(bld.nl)
+    return bld.nl
+
+
+class TestVerilogExport:
+    def test_module_structure(self):
+        text = to_verilog(_small_design())
+        assert text.startswith("// Generated")
+        assert "module unit (" in text
+        assert text.rstrip().endswith("endmodule")
+
+    def test_ports_include_scan(self):
+        text = to_verilog(_small_design())
+        assert "input scan_enable, scan_in;" in text
+        assert "output scan_out;" in text
+        assert "scan_enable ?" in text
+
+    def test_no_scan_mode(self):
+        text = to_verilog(_small_design(scan=False))
+        assert "scan_enable" not in text
+
+    def test_gate_expressions(self):
+        text = to_verilog(_small_design())
+        assert re.search(r"assign n\d+ = \w+ & \w+;", text)
+        assert "?" in text  # mux
+
+    def test_component_comments_preserved(self):
+        text = to_verilog(_small_design())
+        assert "// blk" in text
+
+    def test_scan_chain_order(self):
+        """scan_out must be the last chain element's Q."""
+        nl = _small_design()
+        text = to_verilog(nl)
+        last_q = nl.flops[nl.flops[-1].fid].q_net
+        assert f"assign scan_out =" in text
+
+    def test_full_pipeline_exports(self):
+        model = build_rescue_rtl(RtlParams.tiny())
+        insert_scan(model.netlist)
+        text = to_verilog(model.netlist, module_name="rescue_core")
+        assert "module rescue_core (" in text
+        # Every gate appears as an assign; every flop as an always block.
+        assert text.count("assign ") >= len(model.netlist.gates)
+        assert text.count("always @(posedge clk)") == len(
+            model.netlist.flops
+        )
+
+    def test_const_gates(self):
+        nl = Netlist("consts")
+        one = nl.add_gate(GateType.CONST1, [])
+        nl.mark_output(one)
+        text = to_verilog(nl)
+        assert "1'b1" in text
+
+    def test_reg_output_declared_output_reg(self):
+        bld = NetBuilder(name="qo")
+        a = bld.nl.add_input("a")
+        flop = bld.nl.add_flop(a, name="r0")
+        bld.nl.mark_output(flop.q_net)
+        text = to_verilog(bld.nl, scan=False)
+        assert "output reg" in text

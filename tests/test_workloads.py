@@ -1,0 +1,100 @@
+"""Unit tests for the synthetic SPEC2000 workload generators."""
+
+import pytest
+
+from repro.cpu.isa import OpClass
+from repro.workloads import PROFILES, TraceGenerator, generate_trace, profile
+
+
+class TestProfiles:
+    def test_twenty_three_benchmarks(self):
+        assert len(PROFILES) == 23
+
+    def test_paper_exclusions(self):
+        names = {p.name for p in PROFILES}
+        for excluded in ("ammp", "galgel", "gap"):
+            assert excluded not in names
+        for included in ("gzip", "mcf", "bzip2", "swim", "art", "apsi"):
+            assert included in names
+
+    def test_int_fp_split(self):
+        n_int = sum(1 for p in PROFILES if not p.is_fp)
+        n_fp = sum(1 for p in PROFILES if p.is_fp)
+        assert n_int == 11 and n_fp == 12
+
+    def test_lookup(self):
+        assert profile("swim").is_fp
+        with pytest.raises(KeyError):
+            profile("doom")
+
+
+class TestGenerator:
+    def test_deterministic_across_generators(self):
+        a = generate_trace(profile("gcc"), 500, seed=7)
+        b = generate_trace(profile("gcc"), 500, seed=7)
+        assert [(i.op, i.pc, i.addr, i.taken) for i in a] == [
+            (i.op, i.pc, i.addr, i.taken) for i in b
+        ]
+
+    def test_seed_changes_trace(self):
+        a = generate_trace(profile("gcc"), 500, seed=1)
+        b = generate_trace(profile("gcc"), 500, seed=2)
+        assert [(i.addr, i.taken) for i in a] != [
+            (i.addr, i.taken) for i in b
+        ]
+
+    def test_sequence_numbers_dense(self):
+        trace = generate_trace(profile("vpr"), 300)
+        assert [i.seq for i in trace] == list(range(300))
+
+    def test_mem_ops_have_addresses(self):
+        trace = generate_trace(profile("swim"), 2000)
+        for i in trace:
+            if i.op.is_mem:
+                assert i.addr is not None and i.addr >= 0
+            else:
+                assert i.addr is None
+
+    def test_addresses_within_working_set_neighborhood(self):
+        prof = profile("crafty")
+        trace = generate_trace(prof, 3000)
+        limit = prof.working_set_kb * 1024 * 2
+        for i in trace:
+            if i.addr is not None:
+                assert i.addr < limit
+
+    def test_branches_present_with_targets(self):
+        trace = generate_trace(profile("gzip"), 3000)
+        branches = [i for i in trace if i.op is OpClass.BRANCH]
+        assert branches
+        taken = [b for b in branches if b.taken]
+        assert taken and all(b.target for b in taken)
+
+    def test_loop_structure_repeats_pcs(self):
+        """Loop bodies re-execute: dynamic PCs must repeat heavily."""
+        trace = generate_trace(profile("mgrid"), 5000)
+        pcs = {i.pc for i in trace}
+        assert len(pcs) < len(trace) / 5
+
+    def test_deps_point_backward(self):
+        trace = generate_trace(profile("parser"), 1000)
+        for i in trace:
+            for d in i.deps:
+                assert 1 <= d <= i.seq
+
+    def test_fp_profile_uses_fp_ops(self):
+        trace = generate_trace(profile("swim"), 3000)
+        assert any(i.op in (OpClass.FADD, OpClass.FMUL) for i in trace)
+
+    def test_int_profile_avoids_fp_ops(self):
+        trace = generate_trace(profile("gzip"), 3000)
+        assert not any(i.op.is_fp for i in trace)
+
+    def test_stream_interface_matches_take(self):
+        gen = TraceGenerator(profile("twolf"), seed=3)
+        first = gen.take(50)
+        gen2 = TraceGenerator(profile("twolf"), seed=3)
+        from itertools import islice
+
+        second = list(islice(gen2.stream(), 50))
+        assert [i.pc for i in first] == [i.pc for i in second]
