@@ -7,6 +7,11 @@ isolation table, and checks the blamed map-out block is the one physically
 containing the fault.  The paper's result: all inserted faults isolate
 correctly.  The same experiment on the baseline shows why ICI is needed:
 a large fraction of faults are ambiguous or misattributed.
+
+Fault simulation rides the bit-packed ``"word"`` backend (the
+``generate_tests`` default): failing scan bits are read straight off
+packed fault deltas, which is what makes the full 6000-fault run
+practical — see ``bench_faultsim.py`` for the backend comparison.
 """
 
 import time

@@ -1,11 +1,12 @@
 """Table 3 — scan chain data: faults, cells, vectors, test cycles.
 
 Builds the gate-level baseline and Rescue pipelines, runs the full ATPG
-flow on both, and prints the paper's Table 3 rows plus the headline ratio
-(Rescue's fault-isolation time over the baseline's fault-detection time;
-the paper reports +13%).
+flow on both (bit-packed ``"word"`` fault-sim backend), and prints the
+paper's Table 3 rows plus the headline ratio (Rescue's fault-isolation
+time over the baseline's fault-detection time; the paper reports +13%).
 
-The ATPG runs take a few minutes the first time; results are cached.
+The ATPG runs take a couple of minutes the first time; results are
+cached.
 """
 
 import time
@@ -51,14 +52,15 @@ def test_table3_scan_chain_data(benchmark):
     assert data["rescue"]["coverage_pct"] > 95
     assert data["base"]["coverage_pct"] > 95
 
-    # Benchmark: application of one 64-vector batch through the packed
-    # simulator (the tester's inner loop).
+    # Benchmark: application of one 64-vector batch (a single machine
+    # word per net) through the bit-packed simulator — the tester's
+    # inner loop.  ``benchmarks/bench_faultsim.py`` compares backends.
     import numpy as np
 
-    from repro.netlist.simulate import PackedSimulator
+    from repro.netlist.compiled import make_simulator
 
     model = build_rescue_rtl(RtlParams.tiny())
-    sim = PackedSimulator(model.netlist)
+    sim = make_simulator(model.netlist, "word")
     rng = np.random.default_rng(0)
     patterns = rng.integers(0, 2, size=(64, sim.n_sources)).astype(bool)
     benchmark(lambda: sim.good_values(patterns))

@@ -5,14 +5,19 @@ and Table 3's vector counts reflect a compacted set.  This module
 implements classic reverse-order compaction on full detection data: grade
 every (fault, pattern) pair once, then walk the patterns newest-to-oldest
 dropping any whose detected faults are all covered by the patterns kept.
+
+Detection data comes from either fault-simulation engine; the bit-packed
+``"word"`` backend (default) computes each fault's per-pattern detection
+vector directly from packed mismatch words.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
+from repro.netlist.compiled import PackedWordSimulator, make_simulator
 from repro.netlist.faults import StuckAt
 from repro.netlist.netlist import Netlist
 from repro.netlist.simulate import PackedSimulator
@@ -22,13 +27,20 @@ def detection_matrix(
     netlist: Netlist,
     faults: Sequence[StuckAt],
     patterns: np.ndarray,
-    sim: Optional[PackedSimulator] = None,
+    sim=None,
+    backend: str = "word",
 ) -> Dict[StuckAt, np.ndarray]:
     """Per-fault boolean vectors: which patterns detect the fault."""
-    sim = sim or PackedSimulator(netlist)
+    if sim is None:
+        sim = make_simulator(netlist, backend)
+    out: Dict[StuckAt, np.ndarray] = {}
+    if isinstance(sim, PackedWordSimulator):
+        values = sim.good_values(patterns)
+        for fault in faults:
+            out[fault] = sim.detection_vector(values, fault)
+        return out
     good_vals = sim.good_values(patterns)
     good_po, good_state = sim.capture(good_vals)
-    out: Dict[StuckAt, np.ndarray] = {}
     npat = patterns.shape[0]
     for fault in faults:
         vec = _detection_vector(
@@ -45,10 +57,8 @@ def _detection_vector(sim, good_vals, good_po, good_state, fault, npat):
     if fault.flop is not None:
         f = nl.flops[fault.flop]
         return good_vals[f.d_net] != bool(fault.value)
-    po_index = {net: i for i, net in enumerate(nl.primary_outputs)}
-    d_lookup: Dict[int, List[int]] = {}
-    for f in nl.flops:
-        d_lookup.setdefault(f.d_net, []).append(f.fid)
+    po_index = sim.po_index
+    d_lookup = sim.d_lookup
     for net, vals in delta.items():
         col = po_index.get(net)
         if col is not None:
@@ -62,7 +72,8 @@ def reverse_order_compaction(
     netlist: Netlist,
     patterns: np.ndarray,
     faults: Sequence[StuckAt],
-    sim: Optional[PackedSimulator] = None,
+    sim=None,
+    backend: str = "word",
 ) -> np.ndarray:
     """Drop patterns whose detections are covered by the rest.
 
@@ -74,7 +85,9 @@ def reverse_order_compaction(
     """
     if patterns.shape[0] <= 1:
         return patterns
-    matrix = detection_matrix(netlist, faults, patterns, sim=sim)
+    matrix = detection_matrix(
+        netlist, faults, patterns, sim=sim, backend=backend
+    )
     detected = [f for f, vec in matrix.items() if vec.any()]
     if not detected:
         return patterns[:0]

@@ -55,6 +55,10 @@ class ConeDiagnoser:
         netlist.validate()
         self.netlist = netlist
         self._cone_cache: dict = {}
+        # Source-net set hoisted out of the per-observation cone walk;
+        # diagnosis intersects one cone per failing bit, so rebuilding it
+        # there is O(observations x sources).
+        self._sources: Set[int] = set(netlist.source_nets())
 
     def _fanin_gates(self, net: int) -> Set[int]:
         """Gate ids in the combinational fan-in cone of ``net``."""
@@ -62,7 +66,7 @@ class ConeDiagnoser:
         if cached is not None:
             return cached
         nl = self.netlist
-        sources = set(nl.source_nets())
+        sources = self._sources
         gates: Set[int] = set()
         stack = [net]
         seen: Set[int] = set()

@@ -12,6 +12,12 @@ with a bit→block table whose size is one entry per scan cell.
 The module exists to quantify that comparison (tests and
 ``benchmarks/bench_diagnosis.py``'s companion narrative), and doubles as a
 verification cross-check of the fault simulator.
+
+Signatures are produced by :meth:`ScanTester.failing_bits`, which on the
+default bit-packed ``"word"`` backend reads mismatching observation
+points straight off packed fault deltas — building a dictionary over
+thousands of faults rides entirely on that fast path (the tester caches
+the good response per pattern set).
 """
 
 from __future__ import annotations

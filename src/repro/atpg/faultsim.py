@@ -2,20 +2,35 @@
 
 Given a pattern set and a fault list, determine which faults each pattern
 detects.  The good circuit is simulated once; each fault re-simulates only
-its fanout cone (:meth:`PackedSimulator.faulty_values`), the optimization
-that keeps grading thousands of faults tractable.
+its fanout cone, the optimization that keeps grading thousands of faults
+tractable.  Two engines are available (see
+:func:`repro.netlist.compiled.make_simulator`):
+
+- ``"word"`` (default) — the bit-packed 64-patterns-per-word
+  :class:`~repro.netlist.compiled.PackedWordSimulator`, with fault-effect
+  death pruning in the cone walk;
+- ``"legacy"`` — the dict-of-bool-arrays
+  :class:`~repro.netlist.simulate.PackedSimulator` reference.
+
+Fault *dropping* lives in the callers (the ATPG flow and random phase):
+once a fault is detected it leaves the active list, so later pattern
+batches never re-simulate it.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.netlist.compiled import PackedWordSimulator, make_simulator
 from repro.netlist.faults import StuckAt
 from repro.netlist.netlist import Netlist
 from repro.netlist.simulate import PackedSimulator
+
+#: Either fault-simulation engine; both expose the same surface.
+AnySimulator = Union[PackedSimulator, PackedWordSimulator]
 
 
 @dataclass
@@ -36,7 +51,8 @@ def grade_faults(
     netlist: Netlist,
     faults: Sequence[StuckAt],
     patterns: np.ndarray,
-    sim: Optional[PackedSimulator] = None,
+    sim: Optional[AnySimulator] = None,
+    backend: str = "word",
 ) -> FaultGrade:
     """Grade ``faults`` against ``patterns``.
 
@@ -44,16 +60,28 @@ def grade_faults(
         netlist: the design under test.
         faults: fault list to grade.
         patterns: (P, n_sources) bool matrix over PIs + scan bits.
-        sim: optional pre-built simulator (reuses its cone cache).
+        sim: optional pre-built simulator (reuses its cone cache); when
+            given, it decides the engine and ``backend`` is ignored.
+        backend: ``"word"`` (bit-packed, default) or ``"legacy"``.
 
     Returns:
         A :class:`FaultGrade`; ``detected[f]`` holds the index of the first
         detecting pattern.
     """
-    sim = sim or PackedSimulator(netlist)
+    if sim is None:
+        sim = make_simulator(netlist, backend)
+    grade = FaultGrade(n_faults=len(faults))
+    if isinstance(sim, PackedWordSimulator):
+        values = sim.good_values(patterns)
+        for fault in faults:
+            first = sim.first_detection(values, fault)
+            if first is None:
+                grade.undetected.append(fault)
+            else:
+                grade.detected[fault] = first
+        return grade
     good_vals = sim.good_values(patterns)
     good_po, good_state = sim.capture(good_vals)
-    grade = FaultGrade(n_faults=len(faults))
     for fault in faults:
         first = _first_detection(
             sim, good_vals, good_po, good_state, fault
@@ -88,15 +116,14 @@ def _first_detection(
         good_bit = good_vals[f.d_net]
         add(good_bit != bool(fault.value))
     else:
-        # Compare only observation points inside the changed cone.
-        po_index = {net: i for i, net in enumerate(nl.primary_outputs)}
+        # Compare only observation points inside the changed cone; the
+        # observation maps are memoized on the simulator.
+        po_index = sim.po_index
+        d_lookup = sim.d_lookup
         for net, vals in delta.items():
             col = po_index.get(net)
             if col is not None:
                 add(vals != good_po[:, col])
-        d_lookup: Dict[int, List[int]] = {}
-        for f in nl.flops:
-            d_lookup.setdefault(f.d_net, []).append(f.fid)
         for net, vals in delta.items():
             for fid in d_lookup.get(net, []):
                 add(vals != good_state[:, fid])

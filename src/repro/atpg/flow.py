@@ -17,9 +17,9 @@ import numpy as np
 from repro.atpg.collapse import collapse_faults
 from repro.atpg.faults import full_fault_universe
 from repro.atpg.faultsim import grade_faults
+from repro.netlist.compiled import make_simulator
 from repro.netlist.faults import StuckAt
 from repro.netlist.netlist import Netlist
-from repro.netlist.simulate import PackedSimulator
 from repro.atpg.podem import Podem
 
 
@@ -28,7 +28,7 @@ class AtpgResult:
     """Output of :func:`run_atpg`.
 
     ``patterns`` rows are full source assignments (PIs + scan bits) in the
-    :class:`PackedSimulator` column order.
+    simulator's ``source_col`` column order (identical across backends).
     """
 
     patterns: np.ndarray
@@ -68,6 +68,7 @@ def run_atpg(
     backtrack_limit: int = 512,
     max_deterministic: Optional[int] = None,
     compact: bool = True,
+    backend: str = "word",
 ) -> AtpgResult:
     """Generate a compact scan vector set for ``netlist``.
 
@@ -83,6 +84,8 @@ def run_atpg(
             the cap count as aborted); None means no cap.
         compact: run reverse-order static compaction on the final set
             (coverage-preserving; production flows always do).
+        backend: fault-simulation engine — ``"word"`` (bit-packed,
+            default) or ``"legacy"`` (reference).
 
     Returns:
         An :class:`AtpgResult` with the kept patterns and statistics.
@@ -92,7 +95,7 @@ def run_atpg(
     targets = list(faults) if faults is not None else collapse_faults(
         netlist, universe
     )
-    sim = PackedSimulator(netlist)
+    sim = make_simulator(netlist, backend)
     n_src = sim.n_sources
     remaining: List[StuckAt] = list(targets)
     kept_rows: List[np.ndarray] = []

@@ -178,11 +178,38 @@ class PackedSimulator:
         self.source_nets = netlist.source_nets()
         self.source_col = {net: i for i, net in enumerate(self.source_nets)}
         self._cone_cache: Dict[int, List[int]] = {}
+        self._d_lookup: Optional[Dict[int, List[int]]] = None
+        self._po_index: Optional[Dict[int, int]] = None
 
     @property
     def n_sources(self) -> int:
         """Number of pattern columns (primary inputs + flop state bits)."""
         return len(self.source_nets)
+
+    @property
+    def d_lookup(self) -> Dict[int, List[int]]:
+        """Net -> flop fids capturing it, built once per simulator.
+
+        Fault grading compares every changed cone net against the
+        observation points; building this map per fault would cost
+        O(faults x flops), so it is memoized here.
+        """
+        if self._d_lookup is None:
+            lut: Dict[int, List[int]] = {}
+            for f in self.netlist.flops:
+                lut.setdefault(f.d_net, []).append(f.fid)
+            self._d_lookup = lut
+        return self._d_lookup
+
+    @property
+    def po_index(self) -> Dict[int, int]:
+        """Net -> primary-output column, built once per simulator."""
+        if self._po_index is None:
+            self._po_index = {
+                net: i
+                for i, net in enumerate(self.netlist.primary_outputs)
+            }
+        return self._po_index
 
     def good_values(self, patterns: np.ndarray) -> Dict[int, np.ndarray]:
         """Evaluate all nets for a (P, n_sources) bool pattern matrix."""

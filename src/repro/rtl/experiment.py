@@ -50,11 +50,17 @@ def generate_tests(
     max_random_batches: int = 8,
     backtrack_limit: int = 48,
     max_deterministic: Optional[int] = None,
+    backend: str = "word",
 ) -> TestSetup:
-    """Insert scan, run ATPG, and build the isolation table."""
+    """Insert scan, run ATPG, and build the isolation table.
+
+    ``backend`` selects the fault-simulation engine for both the ATPG
+    run and the tester (``"word"`` bit-packed default, ``"legacy"``
+    reference).
+    """
     nl = model.netlist
     chain = insert_scan(nl)
-    tester = ScanTester(nl, chain)
+    tester = ScanTester(nl, chain, backend=backend)
     atpg = run_atpg(
         nl,
         seed=seed,
@@ -62,6 +68,7 @@ def generate_tests(
         max_random_batches=max_random_batches,
         backtrack_limit=backtrack_limit,
         max_deterministic=max_deterministic,
+        backend=backend,
     )
     po_components = []
     for po in nl.primary_outputs:

@@ -15,9 +15,9 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
+from repro.netlist.compiled import PackedWordSimulator, make_simulator
 from repro.netlist.faults import StuckAt
 from repro.netlist.netlist import Netlist
-from repro.netlist.simulate import PackedSimulator
 from repro.scan.chain import ScanChain
 
 
@@ -50,10 +50,12 @@ class TestResponse:
 class ScanTester:
     """Applies packed scan tests and reports failing bits."""
 
-    def __init__(self, netlist: Netlist, chain: ScanChain) -> None:
+    def __init__(
+        self, netlist: Netlist, chain: ScanChain, backend: str = "word"
+    ) -> None:
         self.netlist = netlist
         self.chain = chain
-        self.sim = PackedSimulator(netlist)
+        self.sim = make_simulator(netlist, backend)
         # id(patterns) -> (pinned array, net values, gold response).
         self._good_cache: Dict[int, tuple] = {}
 
@@ -91,6 +93,9 @@ class ScanTester:
         self, patterns: np.ndarray, fault: StuckAt
     ) -> np.ndarray:
         """(n_patterns,) bool: which patterns detect ``fault``."""
+        if isinstance(self.sim, PackedWordSimulator):
+            values, _ = self._good(patterns)
+            return self.sim.detection_vector(values, fault)
         _, good = self._good(patterns)
         bad = self.faulty_response(patterns, fault)
         return good.mismatches(bad)
@@ -103,6 +108,15 @@ class ScanTester:
         Scan-bit positions are chain indices — exactly what a tester reads
         off the scan-out pin and what the isolation table consumes.
         """
+        if isinstance(self.sim, PackedWordSimulator):
+            # Word-backend fast path: mismatching observation points come
+            # straight from the packed fault delta, no unpacking.
+            values, _ = self._good(patterns)
+            fids, po_cols = self.sim.failing_observations(values, fault)
+            return (
+                sorted(self.chain.bit_of_flop[fid] for fid in fids),
+                sorted(po_cols),
+            )
         _, good = self._good(patterns)
         bad = self.faulty_response(patterns, fault)
         scan_bits: List[int] = []

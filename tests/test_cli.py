@@ -39,6 +39,7 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "gzip" in out and "average" in out
 
+    @pytest.mark.slow  # full scan+ATPG flow (PODEM-bound), ~90 s
     def test_isolate_command_tiny(self, capsys):
         code = main([
             "isolate", "--tiny", "--faults", "40", "--seed", "2",
