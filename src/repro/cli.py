@@ -8,7 +8,9 @@ Thin wrappers over the library for the common flows:
 - ``repro yat`` — relative YAT of no-redundancy / core-sparing / Rescue
   chips for a scenario (Figure 9, analytic IPC penalties for speed);
 - ``repro graph`` — print the ICI report of the baseline and Rescue
-  component graphs.
+  component graphs;
+- ``repro run`` — the sharded campaign runner (``--workers N`` processes,
+  ``--resume`` to continue from ``.repro_cache/`` checkpoints).
 """
 
 from __future__ import annotations
@@ -146,6 +148,88 @@ def _cmd_verilog(args: argparse.Namespace) -> int:
     return 0
 
 
+def _progress_printer(campaign: str):
+    from repro.runner import ShardProgress
+
+    def progress(ev: ShardProgress) -> None:
+        status = "cached" if ev.cached else f"{ev.seconds:6.2f}s"
+        print(
+            f"[{campaign}] shard {ev.shard:3d} done "
+            f"({ev.done}/{ev.total}) {status}"
+        )
+
+    return progress
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.runner import (
+        IpcSweepSpec,
+        IsolationSpec,
+        MonteCarloSpec,
+        run_ipc_sweep,
+        run_isolation,
+        run_montecarlo,
+    )
+
+    common = dict(
+        workers=args.workers,
+        resume=args.resume,
+        checkpoint=not args.no_checkpoint,
+        cache_root=args.cache_dir,
+    )
+    if args.campaign == "isolation":
+        spec = IsolationSpec(
+            tiny=args.tiny,
+            baseline=args.baseline,
+            fault_seed=args.seed,
+            n_faults=args.faults,
+            chunk_size=args.chunk_size or 50,
+        )
+        stats = run_isolation(
+            spec, progress=_progress_printer("isolation"), **common
+        )
+        print(stats.summary())
+        return 0 if stats.correct_rate == 1.0 or args.baseline else 1
+    if args.campaign == "montecarlo":
+        spec = MonteCarloSpec(
+            node_nm=args.node,
+            growth=args.growth / 100,
+            stagnation_node_nm=float(args.stagnation),
+            n_chips=args.chips,
+            seed=args.seed,
+            chunk_size=args.chunk_size or 250,
+        )
+        mc = run_montecarlo(
+            spec, progress=_progress_printer("montecarlo"), **common
+        )
+        print(mc.summary())
+        return 0
+    spec = IpcSweepSpec(
+        benchmarks=tuple(args.benchmarks) or _all_benchmarks(),
+        n_instructions=args.instructions,
+        warmup=args.warmup,
+        compose=not args.full,
+        chunk_size=args.chunk_size or 1,
+    )
+    sweep = run_ipc_sweep(
+        spec, progress=_progress_printer("ipc"), **common
+    )
+    tables = sweep.tables(compose=spec.compose)
+    print(f"{'benchmark':10s} {'full IPC':>9s} {'worst-config':>13s}")
+    for bench, table in tables.items():
+        print(
+            f"{bench:10s} {max(table.values()):9.3f} "
+            f"{min(table.values()):13.3f}"
+        )
+    return 0
+
+
+def _all_benchmarks():
+    from repro.workloads import PROFILES
+
+    return tuple(p.name for p in PROFILES)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the ``repro`` argument parser (one sub-command per flow)."""
     parser = argparse.ArgumentParser(
@@ -188,6 +272,47 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--tiny", action="store_true")
     p.add_argument("--baseline", action="store_true")
     p.set_defaults(func=_cmd_lint)
+
+    p = sub.add_parser(
+        "run",
+        help="sharded campaign runner with checkpoint/resume",
+        description=(
+            "Shard a campaign across worker processes with deterministic "
+            "per-shard seeding: results are bit-identical for any "
+            "--workers/--chunk-size, and completed shards checkpoint to "
+            "the cache dir so --resume continues an interrupted run."
+        ),
+    )
+    p.add_argument("campaign", choices=("isolation", "montecarlo", "ipc"))
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes (default 1 = in-process)")
+    p.add_argument("--resume", action="store_true",
+                   help="reuse completed shards from the checkpoint store")
+    p.add_argument("--no-checkpoint", action="store_true",
+                   help="do not write shard checkpoints")
+    p.add_argument("--cache-dir", default=None,
+                   help="checkpoint root (default .repro_cache or "
+                        "$REPRO_CACHE_DIR)")
+    p.add_argument("--chunk-size", type=int, default=None,
+                   help="items per shard (campaign-specific default)")
+    p.add_argument("--seed", type=int, default=1)
+    # isolation knobs
+    p.add_argument("--faults", type=int, default=600)
+    p.add_argument("--tiny", action="store_true")
+    p.add_argument("--baseline", action="store_true")
+    # montecarlo knobs
+    p.add_argument("--chips", type=int, default=2000)
+    p.add_argument("--node", type=float, default=32.0)
+    p.add_argument("--growth", type=int, default=30)
+    p.add_argument("--stagnation", type=int, default=90, choices=(90, 65))
+    # ipc knobs
+    p.add_argument("--benchmarks", nargs="*", default=[],
+                   help="benchmark names (default: all 23)")
+    p.add_argument("--instructions", type=int, default=20_000)
+    p.add_argument("--warmup", type=int, default=12_000)
+    p.add_argument("--full", action="store_true",
+                   help="simulate all 64 configs instead of composing")
+    p.set_defaults(func=_cmd_run)
 
     p = sub.add_parser(
         "verilog", help="export a pipeline model as structural Verilog"

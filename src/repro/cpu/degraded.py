@@ -124,6 +124,38 @@ class IpcCache:
             pass
 
 
+def single_degradation_counts() -> Tuple[CoreCounts, ...]:
+    """The six one-dimension-degraded configurations, in DIMENSIONS order."""
+    from repro.yieldmodel.configs import DIMENSIONS
+
+    return tuple(CoreCounts(**{dim: 1}) for dim in DIMENSIONS)
+
+
+def compose_ipc_table(
+    full_ipc: float, ratios: Dict[str, float]
+) -> Dict[Tuple[int, ...], float]:
+    """Multiplicatively compose the 64-entry IPC table.
+
+    ``ratios`` maps each dimension to its single-degradation IPC ratio
+    (degraded / full, already clamped by the caller); a multi-degraded
+    configuration's IPC is the full IPC times the product of its degraded
+    dimensions' ratios.  Shared by :func:`rescue_ipc_table` and the
+    parallel sweep campaign so both compose identically.
+    """
+    from repro.yieldmodel.configs import DIMENSIONS, enumerate_configs
+
+    table: Dict[Tuple[int, ...], float] = {CoreCounts().key(): full_ipc}
+    for cfg in enumerate_configs():
+        if cfg.key() in table:
+            continue
+        ipc = full_ipc
+        for dim in DIMENSIONS:
+            if getattr(cfg, dim) == 1:
+                ipc *= ratios[dim]
+        table[cfg.key()] = ipc
+    return table
+
+
 def rescue_ipc_table(
     benchmark: str,
     base: MachineConfig,
@@ -162,14 +194,7 @@ def rescue_ipc_table(
             # policy by a percent or two (the simpler selection has no
             # replay), so clamp to keep the YAT composition conservative.
             ratios[dim] = min(1.0, measured)
-        for cfg in enumerate_configs():
-            if cfg.key() in table:
-                continue
-            ipc = full
-            for dim in DIMENSIONS:
-                if getattr(cfg, dim) == 1:
-                    ipc *= ratios[dim]
-            table[cfg.key()] = ipc
+        table = compose_ipc_table(full, ratios)
     else:
         for cfg in enumerate_configs():
             if cfg.key() not in table:

@@ -22,12 +22,32 @@ from repro.atpg.faults import component_of_fault
 from repro.atpg.flow import AtpgResult
 from repro.core.isolation import IsolationTable
 from repro.netlist.faults import StuckAt
+from repro.netlist.netlist import Netlist
 from repro.rtl.model import RtlModel
 from repro.scan import ScanChain, ScanTester, insert_scan
 
 
 def _block(component: str) -> str:
     return component.split("/", 1)[0] if component else ""
+
+
+def po_component_labels(nl: Netlist) -> List[str]:
+    """Component label of each primary output's driver, in PO order.
+
+    A PO driven by a gate takes that gate's label; a PO that is a flop's
+    Q net (the flop-driven branch) takes the flop's label; an undriven PO
+    gets "".  Flop lookups go through a precomputed q_net → component
+    dict rather than a per-PO scan of the flop list.
+    """
+    flop_component = {f.q_net: f.component for f in nl.flops}
+    labels: List[str] = []
+    for po in nl.primary_outputs:
+        gid = nl.driver_of(po)
+        if gid is not None:
+            labels.append(nl.gates[gid].component)
+        else:
+            labels.append(flop_component.get(po, ""))
+    return labels
 
 
 @dataclass
@@ -70,19 +90,7 @@ def generate_tests(
         max_deterministic=max_deterministic,
         backend=backend,
     )
-    po_components = []
-    for po in nl.primary_outputs:
-        gid = nl.driver_of(po)
-        if gid is not None:
-            po_components.append(nl.gates[gid].component)
-        else:
-            label = ""
-            for f in nl.flops:
-                if f.q_net == po:
-                    label = f.component
-                    break
-            po_components.append(label)
-    table = IsolationTable(chain, po_components=po_components)
+    table = IsolationTable(chain, po_components=po_component_labels(nl))
     return TestSetup(
         model=model, chain=chain, tester=tester, atpg=atpg, table=table
     )
@@ -118,6 +126,75 @@ class IsolationStats:
             f"{self.wrong} misattributed"
         )
 
+    def merge(self, other: "IsolationStats") -> "IsolationStats":
+        """Combine two disjoint fault subsets' stats (exact: all counts).
+
+        Every field is an integer count over the faults each side saw, so
+        merging shard results in any order reproduces the single-run
+        stats bit-for-bit — the property the parallel runner rests on.
+        """
+        by_block = dict(self.by_block)
+        for block, count in other.by_block.items():
+            by_block[block] = by_block.get(block, 0) + count
+        return IsolationStats(
+            inserted=self.inserted + other.inserted,
+            undetected=self.undetected + other.undetected,
+            correct=self.correct + other.correct,
+            ambiguous=self.ambiguous + other.ambiguous,
+            wrong=self.wrong + other.wrong,
+            by_block=by_block,
+        )
+
+    def to_json(self) -> Dict:
+        """JSON-serializable form (checkpoint payload)."""
+        return {
+            "inserted": self.inserted,
+            "undetected": self.undetected,
+            "correct": self.correct,
+            "ambiguous": self.ambiguous,
+            "wrong": self.wrong,
+            "by_block": dict(self.by_block),
+        }
+
+    @classmethod
+    def from_json(cls, payload: Dict) -> "IsolationStats":
+        """Inverse of :meth:`to_json`."""
+        return cls(
+            inserted=int(payload["inserted"]),
+            undetected=int(payload["undetected"]),
+            correct=int(payload["correct"]),
+            ambiguous=int(payload["ambiguous"]),
+            wrong=int(payload["wrong"]),
+            by_block={
+                str(k): int(v) for k, v in payload["by_block"].items()
+            },
+        )
+
+
+def sample_isolation_faults(
+    nl: Netlist, n_faults: int, seed: int
+) -> List[StuckAt]:
+    """The Section 6.1 fault sample: uniform over the labeled stage logic.
+
+    Stem faults on flop Q nets are scan-cell output faults; the paper
+    budgets scan cells as chipkill (they break the chain and are caught
+    by the chain-integrity test), so the block-isolation experiment draws
+    from the stage logic only.  Deterministic in ``(netlist, seed)`` —
+    the parallel runner shards this exact list, so any partition of it
+    reproduces the serial experiment.
+    """
+    from repro.atpg.faults import full_fault_universe
+
+    q_nets = {f.q_net for f in nl.flops}
+    universe = [
+        f
+        for f in full_fault_universe(nl)
+        if _block(component_of_fault(nl, f))
+        and not (f.is_stem and f.net in q_nets)
+    ]
+    rng = random.Random(seed)
+    return rng.sample(universe, min(n_faults, len(universe)))
+
 
 def isolation_experiment(
     setup: TestSetup,
@@ -133,21 +210,7 @@ def isolation_experiment(
     """
     nl = setup.model.netlist
     if faults is None:
-        from repro.atpg.faults import full_fault_universe
-
-        # Stem faults on flop Q nets are scan-cell output faults; the
-        # paper budgets scan cells as chipkill (they break the chain and
-        # are caught by the chain-integrity test), so the block-isolation
-        # experiment draws from the stage logic only.
-        q_nets = {f.q_net for f in nl.flops}
-        universe = [
-            f
-            for f in full_fault_universe(nl)
-            if _block(component_of_fault(nl, f))
-            and not (f.is_stem and f.net in q_nets)
-        ]
-        rng = random.Random(seed)
-        faults = rng.sample(universe, min(n_faults, len(universe)))
+        faults = sample_isolation_faults(nl, n_faults, seed)
     stats = IsolationStats(inserted=len(faults))
     patterns = setup.atpg.patterns
     for fault in faults:

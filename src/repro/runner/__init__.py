@@ -1,0 +1,55 @@
+"""Parallel experiment orchestration with checkpoint/resume.
+
+The paper's evaluation is three embarrassingly-parallel sweeps — random
+fault insertions (§6.1), per-degraded-configuration IPC runs (§6.2), and
+Monte Carlo YAT sampling (§6.3).  This package shards them across a
+process pool with deterministic per-shard seeding, merges partial results
+through explicit ``merge()`` methods, and checkpoints completed shards to
+``.repro_cache/`` so an interrupted campaign resumes instead of
+restarting.  See DESIGN.md §"Parallel experiment runner" for the
+sharding/seeding/merge/checkpoint contract and
+``tests/test_runner_determinism.py`` for the bit-for-bit guarantees.
+
+Campaign entry points (:func:`run_isolation`, :func:`run_montecarlo`,
+:func:`run_ipc_sweep` and their spec dataclasses) are re-exported lazily:
+``repro.runner.campaigns`` imports experiment modules which themselves
+use :mod:`repro.runner.seeding`, and the lazy hop keeps that cycle open.
+"""
+
+from repro.runner.executor import ProgressFn, ShardProgress, run_shards
+from repro.runner.seeding import derive_seed, shard_ranges
+from repro.runner.store import CheckpointStore, config_hash
+
+_CAMPAIGN_EXPORTS = (
+    "IsolationSpec",
+    "MonteCarloSpec",
+    "IpcSweepSpec",
+    "IpcSweepResult",
+    "run_isolation",
+    "run_montecarlo",
+    "run_ipc_sweep",
+    "prepare_isolation",
+    "analytic_penalty_table",
+    "ipc_sweep_items",
+)
+
+__all__ = [
+    "CheckpointStore",
+    "ProgressFn",
+    "ShardProgress",
+    "config_hash",
+    "derive_seed",
+    "run_shards",
+    "shard_ranges",
+    *_CAMPAIGN_EXPORTS,
+]
+
+
+def __getattr__(name: str):
+    if name in _CAMPAIGN_EXPORTS:
+        from repro.runner import campaigns
+
+        return getattr(campaigns, name)
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}"
+    )

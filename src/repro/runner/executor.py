@@ -1,0 +1,133 @@
+"""Sharded campaign execution over a process pool.
+
+:func:`run_shards` is the one orchestration primitive the campaigns
+share: given a list of picklable shard specs and a top-level worker
+function, it runs the shards inline (``workers <= 1``) or across a
+``concurrent.futures.ProcessPoolExecutor``, checkpoints each completed
+shard to a :class:`~repro.runner.store.CheckpointStore`, and returns the
+payloads in shard order.
+
+Determinism contract: the worker must compute shard ``i``'s payload from
+``specs[i]`` (plus worker-global state installed by ``initializer``)
+alone — never from completion order or worker identity.  Under that
+contract the merged result is identical for any worker count and any
+scheduling, which is what ``tests/test_runner_determinism.py`` asserts.
+
+Heavy shared state (a compiled netlist with its ATPG vectors) is *not*
+pickled per shard: ``initializer`` runs once per worker process and
+parks the state in a module global.  On POSIX the default ``fork`` start
+method lets workers inherit state already built in the parent, so the
+initializer's rebuild is skipped entirely (see
+``campaigns.prepare_isolation``).
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from repro.runner.store import CheckpointStore
+
+
+@dataclass(frozen=True)
+class ShardProgress:
+    """One progress event, emitted as each shard lands."""
+
+    shard: int  # shard index within the campaign
+    done: int  # shards finished so far (including this one)
+    total: int  # total shards in the campaign
+    cached: bool  # satisfied from the checkpoint store, not recomputed
+    seconds: float  # wall-clock of this shard (0.0 when cached)
+
+
+ProgressFn = Callable[[ShardProgress], None]
+
+
+def _emit(
+    progress: Optional[ProgressFn],
+    shard: int,
+    done: int,
+    total: int,
+    cached: bool,
+    seconds: float,
+) -> None:
+    if progress is not None:
+        progress(ShardProgress(shard, done, total, cached, seconds))
+
+
+def run_shards(
+    specs: Sequence[Any],
+    worker: Callable[[Any], Any],
+    *,
+    workers: int = 1,
+    initializer: Optional[Callable[..., None]] = None,
+    initargs: Tuple[Any, ...] = (),
+    store: Optional[CheckpointStore] = None,
+    resume: bool = False,
+    progress: Optional[ProgressFn] = None,
+) -> List[Any]:
+    """Run every shard, return payloads ordered by shard index.
+
+    With ``store`` set and ``resume=True``, shards already present in the
+    checkpoint are reported as cached and skipped; without ``resume`` the
+    store is cleared first so a fresh run never merges stale partials.
+    Payloads must be JSON-serializable when a store is used.
+    """
+    n = len(specs)
+    completed = {}
+    if store is not None:
+        if resume:
+            completed = {
+                s: p for s, p in store.load().items() if 0 <= s < n
+            }
+        else:
+            store.clear()
+
+    results = dict(completed)
+    done = 0
+    for shard in sorted(completed):
+        done += 1
+        _emit(progress, shard, done, n, cached=True, seconds=0.0)
+
+    pending = [i for i in range(n) if i not in completed]
+
+    def _record(shard: int, payload: Any, seconds: float) -> None:
+        nonlocal done
+        results[shard] = payload
+        if store is not None:
+            store.append(shard, payload)
+        done += 1
+        _emit(progress, shard, done, n, cached=False, seconds=seconds)
+
+    if not pending:
+        return [results[i] for i in range(n)]
+
+    if workers <= 1:
+        if initializer is not None:
+            initializer(*initargs)
+        for shard in pending:
+            t0 = time.perf_counter()
+            payload = worker(specs[shard])
+            _record(shard, payload, time.perf_counter() - t0)
+    else:
+        pool_size = min(workers, len(pending))
+        with ProcessPoolExecutor(
+            max_workers=pool_size,
+            initializer=initializer,
+            initargs=initargs,
+        ) as pool:
+            t_start = {}
+            futures = {}
+            for shard in pending:
+                t_start[shard] = time.perf_counter()
+                futures[pool.submit(worker, specs[shard])] = shard
+            for fut in as_completed(futures):
+                shard = futures[fut]
+                payload = fut.result()  # propagate worker exceptions
+                _record(
+                    shard, payload, time.perf_counter() - t_start[shard]
+                )
+
+    return [results[i] for i in range(n)]

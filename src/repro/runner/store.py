@@ -1,0 +1,114 @@
+"""On-disk checkpoint store for sharded campaigns.
+
+Completed shards are appended to a JSON-lines file under the cache root
+(``.repro_cache/`` by default, overridable with ``REPRO_CACHE_DIR``), one
+line per shard::
+
+    {"shard": 3, "payload": {...}}
+
+The file name carries a :func:`config_hash` of the campaign's full
+parameter set, so a checkpoint can only ever be resumed by the identical
+campaign — change a seed, a chunk size, or a model parameter and the
+store is a different file.  Appends are line-atomic in practice; a run
+killed mid-write leaves at most one truncated final line, which
+:meth:`CheckpointStore.load` skips (that shard simply reruns).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Iterable, Mapping, Optional
+
+#: Bump when the checkpoint line format changes; part of every store key.
+SCHEMA_VERSION = 1
+
+
+def config_hash(payload: Mapping[str, Any]) -> str:
+    """Short stable hash of a campaign configuration.
+
+    The payload must be JSON-serializable; it is canonicalized with
+    sorted keys so dict ordering cannot perturb the key.
+    """
+    blob = json.dumps(
+        {"schema": SCHEMA_VERSION, **payload},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:12]
+
+
+def default_cache_root() -> Path:
+    """The checkpoint directory (``REPRO_CACHE_DIR`` or ``.repro_cache``)."""
+    return Path(os.environ.get("REPRO_CACHE_DIR", ".repro_cache"))
+
+
+class CheckpointStore:
+    """JSON-lines record of completed shards for one campaign config."""
+
+    def __init__(
+        self,
+        campaign: str,
+        key: str,
+        root: Optional[Path] = None,
+    ) -> None:
+        root = Path(root) if root is not None else default_cache_root()
+        self.path = root / f"{campaign}-{key}.jsonl"
+
+    def load(self) -> Dict[int, Any]:
+        """Completed ``{shard_index: payload}`` map; {} when absent.
+
+        Unparseable lines (a run killed mid-append) are skipped, and a
+        later line for the same shard wins.
+        """
+        if not self.path.exists():
+            return {}
+        out: Dict[int, Any] = {}
+        try:
+            text = self.path.read_text()
+        except OSError:
+            return {}
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+                out[int(rec["shard"])] = rec["payload"]
+            except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+                continue  # truncated/garbled line: shard reruns
+        return out
+
+    def append(self, shard: int, payload: Any) -> None:
+        """Record one completed shard (flushed immediately)."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        line = json.dumps(
+            {"shard": shard, "payload": payload}, separators=(",", ":")
+        )
+        with open(self.path, "a") as f:
+            f.write(line + "\n")
+            f.flush()
+
+    def drop(self, shards: Iterable[int]) -> None:
+        """Forget the given shards (rewrites the file; used by tests)."""
+        doomed = set(shards)
+        kept = {
+            s: p for s, p in self.load().items() if s not in doomed
+        }
+        if not kept:
+            self.clear()
+            return
+        lines = [
+            json.dumps({"shard": s, "payload": p}, separators=(",", ":"))
+            for s, p in sorted(kept.items())
+        ]
+        self.path.write_text("\n".join(lines) + "\n")
+
+    def clear(self) -> None:
+        """Delete the checkpoint file (fresh-run semantics)."""
+        try:
+            self.path.unlink()
+        except FileNotFoundError:
+            pass

@@ -1,0 +1,145 @@
+"""Golden-number regression tests for the EXPERIMENTS.md headline shapes.
+
+The reproduction's value is the paper's *conclusions*, not its absolute
+numbers (EXPERIMENTS.md records why).  These tests pin the conclusions so
+a future refactor cannot silently bend them:
+
+- §6.1: every detected random fault isolates to the correct block on the
+  ICI (Rescue) core — ``correct_rate == 1.0`` exactly;
+- Figure 9: Rescue beats core sparing at 32nm and 18nm, the gap grows
+  toward the smaller node, and the 90nm-stagnation scenario offers larger
+  gains than the 65nm one;
+- §6.3: the Monte Carlo chip sampler agrees with the analytic EQ 2/3 YAT
+  within 3 standard errors of the sample mean.
+"""
+
+import pytest
+
+from repro.yieldmodel import FaultDensityModel, YatModel
+from repro.yieldmodel.montecarlo import simulate_chips
+from repro.yieldmodel.yat import flat_rescue_ipc
+
+from repro.runner.campaigns import analytic_penalty_table
+
+
+def _model(stagnation=90, growth=0.3):
+    return YatModel(
+        density=FaultDensityModel(stagnation_node_nm=stagnation),
+        growth=growth,
+        baseline_ipc=2.05,
+        rescue_ipc=analytic_penalty_table(2.0),
+    )
+
+
+@pytest.fixture(scope="module")
+def isolation_stats():
+    from repro.rtl import RtlParams, build_rescue_rtl
+    from repro.rtl.experiment import generate_tests, isolation_experiment
+
+    setup = generate_tests(
+        build_rescue_rtl(RtlParams.tiny()), seed=0, max_deterministic=0
+    )
+    return isolation_experiment(setup, n_faults=150, seed=1)
+
+
+class TestIsolationGolden:
+    """§6.1: the ICI core isolates 100% of detected faults."""
+
+    def test_correct_rate_is_exactly_one(self, isolation_stats):
+        assert isolation_stats.correct_rate == 1.0
+
+    def test_nothing_misattributed_or_ambiguous(self, isolation_stats):
+        assert isolation_stats.wrong == 0
+        assert isolation_stats.ambiguous == 0
+
+    def test_most_faults_detected(self, isolation_stats):
+        # The vector set detects the overwhelming majority of inserted
+        # faults (97%+ coverage on this model); a collapse here means the
+        # ATPG or tester regressed.
+        assert isolation_stats.detected >= 0.8 * isolation_stats.inserted
+
+
+class TestYatOrderingGolden:
+    """Figure 9: who wins, and how the gap scales."""
+
+    @pytest.mark.parametrize("node", [32, 18])
+    def test_rescue_beats_core_sparing(self, node):
+        r = _model().evaluate(node)
+        assert r.rescue > r.core_sparing > r.no_redundancy
+
+    def test_gap_grows_toward_smaller_nodes(self):
+        m = _model()
+        assert (
+            m.evaluate(18).rescue_over_cs
+            > m.evaluate(32).rescue_over_cs
+            > 0
+        )
+
+    def test_gains_in_papers_ballpark(self):
+        # Paper: +12% @32nm, +22% @18nm (30% growth, 90nm stagnation);
+        # EXPERIMENTS.md records +13.2% / +20.7% with simulator IPCs.
+        # The analytic table lands in the same band; pin the band.
+        m = _model()
+        assert 0.05 < m.evaluate(32).rescue_over_cs < 0.25
+        assert 0.10 < m.evaluate(18).rescue_over_cs < 0.35
+
+    def test_later_stagnation_shrinks_the_opportunity(self):
+        # Scenario (b) (PWP stagnating at 65nm) gains less than (a) at
+        # the same node/growth, as the paper reports.
+        gain_a = _model(stagnation=90).evaluate(18).rescue_over_cs
+        gain_b = _model(stagnation=65).evaluate(18).rescue_over_cs
+        assert gain_a > gain_b > 0
+
+    def test_larger_growth_widens_the_advantage(self):
+        assert (
+            _model(growth=0.5).evaluate(18).rescue_over_cs
+            > _model(growth=0.3).evaluate(18).rescue_over_cs
+        )
+
+
+class TestMonteCarloAgreementGolden:
+    """§6.3: sampled chips validate the analytic probability bookkeeping."""
+
+    @pytest.mark.parametrize("node", [90, 32, 18])
+    def test_within_three_standard_errors(self, node):
+        model = _model()
+        analytic = model.evaluate(node).rescue
+        mc = simulate_chips(
+            model.density, node, model.growth,
+            model.baseline_ipc, model.rescue_ipc,
+            n_chips=3000, seed=11,
+        )
+        assert mc.std_error > 0.0
+        assert (
+            abs(mc.mean_relative_yat - analytic) <= 3 * mc.std_error
+        ), (
+            f"node {node}: MC {mc.mean_relative_yat:.4f} vs analytic "
+            f"{analytic:.4f} exceeds 3 s.e. ({mc.std_error:.4f})"
+        )
+
+
+class TestCoreCountGolden:
+    """Cores per chip at 18nm: 11/7/5/4 for 20/30/40/50% growth (exact)."""
+
+    @pytest.mark.parametrize(
+        "growth,cores", [(0.2, 11), (0.3, 7), (0.4, 5), (0.5, 4)]
+    )
+    def test_cores_at_18nm(self, growth, cores):
+        from repro.yieldmodel import cores_per_chip
+
+        assert cores_per_chip(18, growth) == cores
+
+
+def test_flat_table_matches_campaign_helper():
+    # analytic_penalty_table is the CLI/test-shared analytic IPC table;
+    # it must stay the flat_rescue_ipc construction EXPERIMENTS.md used.
+    def penalty(cfg):
+        factor = 1.0
+        for dim, cost in (("frontend", 0.82), ("int_backend", 0.78),
+                          ("fp_backend", 0.96), ("iq_int", 0.93),
+                          ("iq_fp", 0.98), ("lsq", 0.94)):
+            if getattr(cfg, dim) == 1:
+                factor *= cost
+        return factor
+
+    assert analytic_penalty_table(2.0) == flat_rescue_ipc(2.0, penalty)

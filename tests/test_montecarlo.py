@@ -4,13 +4,51 @@ import pytest
 
 from repro.yieldmodel import FaultDensityModel, YatModel
 from repro.yieldmodel.montecarlo import (
+    ChipSpan,
     MonteCarloResult,
+    _poisson,
     sample_core,
     simulate_chips,
 )
 from repro.yieldmodel.yat import flat_rescue_ipc
 
+import math
 import random
+
+
+class TestPoisson:
+    """Mean/variance of _poisson on both sides of the λ=30 switch-over.
+
+    Below 30 the draw is exact (Knuth product method); above it a
+    rounded normal approximates the Poisson.  Both regimes must keep
+    mean ≈ λ and variance ≈ λ within sampling tolerance, or the chip
+    sampler's fault counts silently bias the YAT cross-check.
+    """
+
+    @pytest.mark.parametrize("lam", [5.0, 25.0, 35.0, 80.0])
+    def test_mean_and_variance_track_lambda(self, lam):
+        rng = random.Random(123)
+        n = 20_000
+        draws = [_poisson(rng, lam) for _ in range(n)]
+        mean = sum(draws) / n
+        var = sum((d - mean) ** 2 for d in draws) / (n - 1)
+        # Mean's standard error is sqrt(lam/n); allow 5 of them.  The
+        # variance estimator's s.e. is ~lam*sqrt(2/n) for Poisson-like
+        # distributions; allow 6 to keep the test deterministic-stable.
+        assert abs(mean - lam) < 5 * math.sqrt(lam / n)
+        assert abs(var - lam) < 6 * lam * math.sqrt(2 / n)
+
+    def test_exact_regime_small_lambda(self):
+        rng = random.Random(0)
+        draws = [_poisson(rng, 0.1) for _ in range(5000)]
+        zero_frac = draws.count(0) / len(draws)
+        assert abs(zero_frac - math.exp(-0.1)) < 0.02
+
+    def test_degenerate_inputs(self):
+        rng = random.Random(0)
+        assert _poisson(rng, 0.0) == 0
+        assert _poisson(rng, -1.0) == 0
+        assert _poisson(rng, 1e6) >= 0  # clamp keeps the approx sane
 
 
 def _penalty(cfg):
@@ -84,3 +122,50 @@ class TestMonteCarloAgreement:
             n_chips=1500, seed=3,
         )
         assert far.degraded_core_fraction > near.degraded_core_fraction
+
+
+class TestChipSpanMerge:
+    def test_merge_concatenates_exactly(self):
+        a = ChipSpan(start=0, stop=2, relative_yat=[0.5, 0.7], dead=1,
+                     degraded=2)
+        b = ChipSpan(start=2, stop=3, relative_yat=[0.9], dead=0,
+                     degraded=1)
+        merged = a.merge(b)
+        assert merged == b.merge(a)  # order-insensitive
+        assert merged.relative_yat == [0.5, 0.7, 0.9]
+        assert (merged.start, merged.stop) == (0, 3)
+        assert (merged.dead, merged.degraded) == (1, 3)
+
+    def test_json_roundtrip(self):
+        span = ChipSpan(start=3, stop=5, relative_yat=[0.25, 1.0],
+                        dead=2, degraded=0)
+        assert ChipSpan.from_json(span.to_json()) == span
+
+    def test_from_span_reduction_matches_direct_stats(self):
+        values = [0.2, 0.4, 0.9, 1.0]
+        span = ChipSpan(start=0, stop=4, relative_yat=values, dead=3,
+                        degraded=5)
+        result = MonteCarloResult.from_span(span, cores_per_chip=4)
+        mean = sum(values) / 4
+        assert result.mean_relative_yat == pytest.approx(mean)
+        assert result.dead_core_fraction == pytest.approx(3 / 16)
+        assert result.degraded_core_fraction == pytest.approx(5 / 16)
+        var = sum((x - mean) ** 2 for x in values) / 3
+        assert result.std_error == pytest.approx(math.sqrt(var / 4))
+
+    def test_result_merge_weighted(self):
+        a = MonteCarloResult(chips=100, mean_relative_yat=0.8,
+                             dead_core_fraction=0.1,
+                             degraded_core_fraction=0.2, std_error=0.01)
+        b = MonteCarloResult(chips=300, mean_relative_yat=0.6,
+                             dead_core_fraction=0.3,
+                             degraded_core_fraction=0.4, std_error=0.02)
+        merged = a.merge(b)
+        assert merged.chips == 400
+        assert merged.mean_relative_yat == pytest.approx(0.65)
+        assert merged.dead_core_fraction == pytest.approx(0.25)
+        assert merged.std_error > 0
+        # Identity elements.
+        empty = MonteCarloResult(0, 0.0, 0.0, 0.0)
+        assert a.merge(empty) == a
+        assert empty.merge(b) == b

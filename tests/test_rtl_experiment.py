@@ -52,3 +52,37 @@ class TestIsolationStats:
         )
         text = stats.summary()
         assert "10 faults inserted" in text and "8 detected" in text
+
+
+class TestPoComponentLabels:
+    """po_component_labels covers gate-driven, flop-driven, and bare POs."""
+
+    def _mini_netlist(self):
+        from repro.netlist.gates import GateType
+        from repro.netlist.netlist import Netlist
+
+        nl = Netlist("mini")
+        a = nl.add_input("a")
+        b = nl.add_input("b")
+        gate_po = nl.add_gate(GateType.AND, [a, b], component="blk/and")
+        nl.mark_output(gate_po)
+        flop = nl.add_flop(gate_po, name="ff", component="blk/state")
+        nl.mark_output(flop.q_net)  # flop-driven PO (no gate driver)
+        bare = nl.add_input("c")
+        nl.mark_output(bare)  # driven by neither gate nor flop
+        return nl
+
+    def test_all_three_driver_kinds(self):
+        from repro.rtl.experiment import po_component_labels
+
+        labels = po_component_labels(self._mini_netlist())
+        assert labels == ["blk/and", "blk/state", ""]
+
+    def test_matches_generate_tests_wiring(self, setup):
+        # The labels generate_tests hands the IsolationTable must be the
+        # helper's output for the same netlist.
+        from repro.rtl.experiment import po_component_labels
+
+        assert setup.table.po_components == po_component_labels(
+            setup.model.netlist
+        )
