@@ -28,6 +28,7 @@ from repro.netlist.compiled import PackedWordSimulator, make_simulator
 from repro.netlist.faults import StuckAt
 from repro.netlist.netlist import Netlist
 from repro.netlist.simulate import PackedSimulator
+from repro.telemetry import TELEMETRY
 
 #: Either fault-simulation engine; both expose the same surface.
 AnySimulator = Union[PackedSimulator, PackedWordSimulator]
@@ -71,25 +72,32 @@ def grade_faults(
     if sim is None:
         sim = make_simulator(netlist, backend)
     grade = FaultGrade(n_faults=len(faults))
-    if isinstance(sim, PackedWordSimulator):
-        values = sim.good_values(patterns)
-        for fault in faults:
-            first = sim.first_detection(values, fault)
-            if first is None:
-                grade.undetected.append(fault)
-            else:
-                grade.detected[fault] = first
-        return grade
-    good_vals = sim.good_values(patterns)
-    good_po, good_state = sim.capture(good_vals)
-    for fault in faults:
-        first = _first_detection(
-            sim, good_vals, good_po, good_state, fault
-        )
-        if first is None:
-            grade.undetected.append(fault)
+    with TELEMETRY.span("faultsim/grade"):
+        if isinstance(sim, PackedWordSimulator):
+            values = sim.good_values(patterns)
+            for fault in faults:
+                first = sim.first_detection(values, fault)
+                if first is None:
+                    grade.undetected.append(fault)
+                else:
+                    grade.detected[fault] = first
         else:
-            grade.detected[fault] = first
+            good_vals = sim.good_values(patterns)
+            good_po, good_state = sim.capture(good_vals)
+            for fault in faults:
+                first = _first_detection(
+                    sim, good_vals, good_po, good_state, fault
+                )
+                if first is None:
+                    grade.undetected.append(fault)
+                else:
+                    grade.detected[fault] = first
+    t = TELEMETRY
+    if t.enabled:
+        t.count("faultsim.grade_calls")
+        t.count("faultsim.faults_graded", len(faults))
+        t.count("faultsim.faults_detected", len(grade.detected))
+        t.count("faultsim.patterns", int(patterns.shape[0]))
     return grade
 
 

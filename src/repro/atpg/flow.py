@@ -21,6 +21,7 @@ from repro.netlist.compiled import make_simulator
 from repro.netlist.faults import StuckAt
 from repro.netlist.netlist import Netlist
 from repro.atpg.podem import Podem
+from repro.telemetry import TELEMETRY
 
 
 @dataclass
@@ -102,58 +103,65 @@ def run_atpg(
     n_detected = 0
 
     # ---- Random phase -------------------------------------------------
-    for _ in range(max_random_batches):
-        if not remaining:
-            break
-        batch = rng.integers(0, 2, size=(batch_size, n_src)).astype(bool)
-        grade = grade_faults(netlist, remaining, batch, sim=sim)
-        if not grade.detected:
-            break  # diminishing returns: go deterministic
-        useful = sorted({idx for idx in grade.detected.values()})
-        for idx in useful:
-            kept_rows.append(batch[idx])
-        n_detected += len(grade.detected)
-        remaining = grade.undetected
+    with TELEMETRY.span("atpg/random"):
+        for _ in range(max_random_batches):
+            if not remaining:
+                break
+            batch = rng.integers(0, 2, size=(batch_size, n_src)).astype(bool)
+            grade = grade_faults(netlist, remaining, batch, sim=sim)
+            if not grade.detected:
+                break  # diminishing returns: go deterministic
+            useful = sorted({idx for idx in grade.detected.values()})
+            for idx in useful:
+                kept_rows.append(batch[idx])
+            n_detected += len(grade.detected)
+            remaining = grade.undetected
+    n_random_detected = n_detected
 
     # ---- Deterministic phase ------------------------------------------
     podem = Podem(netlist, backtrack_limit=backtrack_limit)
     n_untestable = 0
     n_aborted = 0
     n_targeted = 0
-    while remaining:
-        if max_deterministic is not None and n_targeted >= max_deterministic:
-            n_aborted += len(remaining)
-            remaining = []
-            break
-        n_targeted += 1
-        fault = remaining[0]
-        result = podem.generate(fault)
-        if result.status == "untestable":
-            n_untestable += 1
-            remaining = remaining[1:]
-            continue
-        if result.status == "aborted":
-            n_aborted += 1
-            remaining = remaining[1:]
-            continue
-        row = rng.integers(0, 2, size=n_src).astype(bool)
-        assert result.pattern is not None
-        for net, val in result.pattern.items():
-            row[sim.source_col[net]] = bool(val)
-        kept_rows.append(row)
-        # Drop every remaining fault this pattern happens to detect.
-        grade = grade_faults(
-            netlist, remaining, row.reshape(1, -1), sim=sim
-        )
-        if fault not in grade.detected:
-            # X-fill changed nothing about the targeted detection; PODEM
-            # guarantees the assigned bits detect the fault, so any miss
-            # here indicates an inconsistency worth surfacing loudly.
-            raise AssertionError(
-                f"PODEM pattern failed to detect {fault.describe()}"
+    with TELEMETRY.span("atpg/deterministic"):
+        while remaining:
+            if (
+                max_deterministic is not None
+                and n_targeted >= max_deterministic
+            ):
+                n_aborted += len(remaining)
+                remaining = []
+                break
+            n_targeted += 1
+            fault = remaining[0]
+            result = podem.generate(fault)
+            if result.status == "untestable":
+                n_untestable += 1
+                remaining = remaining[1:]
+                continue
+            if result.status == "aborted":
+                n_aborted += 1
+                remaining = remaining[1:]
+                continue
+            row = rng.integers(0, 2, size=n_src).astype(bool)
+            assert result.pattern is not None
+            for net, val in result.pattern.items():
+                row[sim.source_col[net]] = bool(val)
+            kept_rows.append(row)
+            # Drop every remaining fault this pattern happens to detect.
+            grade = grade_faults(
+                netlist, remaining, row.reshape(1, -1), sim=sim
             )
-        n_detected += len(grade.detected)
-        remaining = grade.undetected
+            if fault not in grade.detected:
+                # X-fill changed nothing about the targeted detection;
+                # PODEM guarantees the assigned bits detect the fault, so
+                # any miss here indicates an inconsistency worth
+                # surfacing loudly.
+                raise AssertionError(
+                    f"PODEM pattern failed to detect {fault.describe()}"
+                )
+            n_detected += len(grade.detected)
+            remaining = grade.undetected
 
     patterns = (
         np.stack(kept_rows, axis=0)
@@ -163,9 +171,19 @@ def run_atpg(
     if compact and patterns.shape[0] > 1:
         from repro.atpg.compaction import reverse_order_compaction
 
-        patterns = reverse_order_compaction(
-            netlist, patterns, targets, sim=sim
-        )
+        with TELEMETRY.span("atpg/compaction"):
+            patterns = reverse_order_compaction(
+                netlist, patterns, targets, sim=sim
+            )
+    t = TELEMETRY
+    if t.enabled:
+        t.count("atpg.runs")
+        t.count("atpg.vectors", int(patterns.shape[0]))
+        t.count("atpg.detected.random", n_random_detected)
+        t.count("atpg.detected.deterministic",
+                n_detected - n_random_detected)
+        t.count("atpg.untestable", n_untestable)
+        t.count("atpg.aborted", n_aborted)
     return AtpgResult(
         patterns=patterns,
         n_total_faults=len(universe),

@@ -19,6 +19,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.netlist.faults import StuckAt
 from repro.netlist.gates import GateType
 from repro.netlist.netlist import Netlist
+from repro.telemetry import TELEMETRY
 
 X = 2  # unknown value in the 3-valued calculus
 
@@ -115,6 +116,15 @@ class Podem:
     # ------------------------------------------------------------------
     def generate(self, fault: StuckAt) -> PodemResult:
         """Find a source assignment detecting ``fault``, or prove none."""
+        result = self._generate(fault)
+        t = TELEMETRY
+        if t.enabled:
+            t.count("podem.targets")
+            t.count("podem.backtracks", result.backtracks)
+            t.count(f"podem.{result.status}")
+        return result
+
+    def _generate(self, fault: StuckAt) -> PodemResult:
         assign: Dict[int, int] = {}
         # decision stack entries: [source net, value, tried_other_branch]
         decisions: List[List[int]] = []

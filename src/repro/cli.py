@@ -10,7 +10,14 @@ Thin wrappers over the library for the common flows:
 - ``repro graph`` — print the ICI report of the baseline and Rescue
   component graphs;
 - ``repro run`` — the sharded campaign runner (``--workers N`` processes,
-  ``--resume`` to continue from ``.repro_cache/`` checkpoints).
+  ``--resume`` to continue from ``.repro_cache/`` checkpoints);
+- ``repro trace`` — summarize a JSONL trace written by ``--trace PATH``.
+
+The compute commands accept ``--trace PATH``: telemetry is enabled for
+the run, span events stream to ``PATH`` as JSONL, and the final merged
+metrics (including per-shard worker metrics for ``repro run``) land in
+the trace's summary record.  Progress and trace notes go to stderr;
+stdout carries only the results.
 """
 
 from __future__ import annotations
@@ -153,9 +160,11 @@ def _progress_printer(campaign: str):
 
     def progress(ev: ShardProgress) -> None:
         status = "cached" if ev.cached else f"{ev.seconds:6.2f}s"
+        # stderr, so `repro run ... > results.txt` captures only results.
         print(
             f"[{campaign}] shard {ev.shard:3d} done "
-            f"({ev.done}/{ev.total}) {status}"
+            f"({ev.done}/{ev.total}) {status}",
+            file=sys.stderr,
         )
 
     return progress
@@ -224,6 +233,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.telemetry import summarize
+
+    print(summarize(args.path, top=args.top))
+    return 0
+
+
 def _all_benchmarks():
     from repro.workloads import PROFILES
 
@@ -238,6 +254,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_trace_flag(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--trace", default=None, metavar="PATH",
+            help="enable telemetry and write a JSONL trace to PATH "
+                 "(inspect with `repro trace summarize PATH`)",
+        )
+
     p = sub.add_parser("isolate", help="fault-isolation experiment (§6.1)")
     p.add_argument("--faults", type=int, default=300)
     p.add_argument("--seed", type=int, default=1)
@@ -245,6 +268,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="use the small model (fast)")
     p.add_argument("--baseline", action="store_true",
                    help="run on the non-ICI baseline instead")
+    add_trace_flag(p)
     p.set_defaults(func=_cmd_isolate)
 
     p = sub.add_parser("ipc", help="baseline vs Rescue IPC (Figure 8)")
@@ -252,6 +276,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="benchmark names (default: all 23)")
     p.add_argument("--instructions", type=int, default=30_000)
     p.add_argument("--warmup", type=int, default=10_000)
+    add_trace_flag(p)
     p.set_defaults(func=_cmd_ipc)
 
     p = sub.add_parser("yat", help="yield-adjusted throughput (Figure 9)")
@@ -259,6 +284,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="core growth percent per generation")
     p.add_argument("--stagnation", type=int, default=90, choices=(90, 65),
                    help="node where PWP stops improving")
+    add_trace_flag(p)
     p.set_defaults(func=_cmd_yat)
 
     p = sub.add_parser("graph", help="ICI report of the component graphs")
@@ -312,7 +338,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--warmup", type=int, default=12_000)
     p.add_argument("--full", action="store_true",
                    help="simulate all 64 configs instead of composing")
+    add_trace_flag(p)
     p.set_defaults(func=_cmd_run)
+
+    p = sub.add_parser(
+        "trace", help="inspect a JSONL telemetry trace"
+    )
+    trace_sub = p.add_subparsers(dest="trace_command", required=True)
+    ps = trace_sub.add_parser(
+        "summarize",
+        help="per-span totals, counter tables, and top-N hot spans",
+    )
+    ps.add_argument("path", help="trace file written by --trace")
+    ps.add_argument("--top", type=int, default=10,
+                    help="hot-span list length (default 10)")
+    ps.set_defaults(func=_cmd_trace)
 
     p = sub.add_parser(
         "verilog", help="export a pipeline model as structural Verilog"
@@ -326,9 +366,42 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    With ``--trace PATH`` the whole command runs under an enabled
+    telemetry registry: spans stream to ``PATH`` and the final merged
+    metrics become the trace's summary record.
+    """
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    trace_path = getattr(args, "trace", None)
+    if trace_path is None:
+        return args.func(args)
+
+    from repro.telemetry import TELEMETRY, TraceSink
+
+    sink = TraceSink(
+        trace_path,
+        meta={
+            "command": args.command,
+            "argv": list(argv) if argv is not None else sys.argv[1:],
+        },
+    )
+    TELEMETRY.reset()
+    TELEMETRY.enable(sink)
+    try:
+        with TELEMETRY.span(f"cli/{args.command}"):
+            code = args.func(args)
+    finally:
+        TELEMETRY.disable()
+        TELEMETRY.sink = None
+        sink.close(TELEMETRY.metrics)
+        print(
+            f"[trace] wrote {trace_path} "
+            f"({sink.n_events} events; `repro trace summarize "
+            f"{trace_path}` to inspect)",
+            file=sys.stderr,
+        )
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -30,6 +30,7 @@ from repro.cpu.queues import (
     combined_violates,
     replay_entries,
 )
+from repro.telemetry import TELEMETRY
 
 _INF = float("inf")
 
@@ -120,6 +121,15 @@ class Core:
         self.load_squashes = 0
         self.issued_total = 0
         self.iq_occupancy_sum = 0
+        # Per-stage stall accounting (cycles a stage made no progress for
+        # a specific structural reason); cheap enough to track always,
+        # surfaced through telemetry when enabled.
+        self.stall_rob_full = 0
+        self.stall_iq_full = 0
+        self.stall_lsq_full = 0
+        self.fetch_redirect_cycles = 0
+        self.fetch_stall_cycles = 0
+        self.fetch_backpressure_cycles = 0
 
         self._lat = config.core.latencies
         self._limits_int = {
@@ -182,6 +192,10 @@ class Core:
                     self.predictor.lookups, self.predictor.mispredicts,
                     self.replays, self.load_squashes, committed,
                     self.issued_total, self.iq_occupancy_sum,
+                    self.stall_rob_full, self.stall_iq_full,
+                    self.stall_lsq_full, self.fetch_redirect_cycles,
+                    self.fetch_stall_cycles,
+                    self.fetch_backpressure_cycles,
                 )
             self._apply_pending_fixes(cycle)
             self.iq_int.tick(cycle)
@@ -200,7 +214,7 @@ class Core:
                 break
             cycle += 1
         if snap is None:
-            snap = (0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0)
+            snap = (0,) * 17
             start_cycle = 0
 
         def rate(hits: int, misses: int) -> float:
@@ -213,7 +227,7 @@ class Core:
         l2m = self.mem.l2.misses - snap[3]
         lookups = self.predictor.lookups - snap[4]
         wrong = self.predictor.mispredicts - snap[5]
-        return SimResult(
+        result = SimResult(
             instructions=committed - snap[8],
             cycles=max(cycle - start_cycle, 1),
             bpred_accuracy=1.0 - (wrong / lookups if lookups else 0.0),
@@ -224,6 +238,29 @@ class Core:
             issued=self.issued_total - snap[9],
             iq_occupancy_sum=self.iq_occupancy_sum - snap[10],
         )
+        t = TELEMETRY
+        if t.enabled:
+            # Measured-window (post-warmup) per-stage accounting, emitted
+            # once per simulation so the cycle loop itself stays clean.
+            t.count("cpu.runs")
+            t.count("cpu.instructions", result.instructions)
+            t.count("cpu.cycles", result.cycles)
+            t.count("cpu.issued", result.issued)
+            t.count("cpu.replays", result.replays)
+            t.count("cpu.load_squashes", result.load_squashes)
+            t.count("cpu.iq_occupancy_sum", result.iq_occupancy_sum)
+            t.count("cpu.flushes", wrong)
+            t.count("cpu.stall.rob_full", self.stall_rob_full - snap[11])
+            t.count("cpu.stall.iq_full", self.stall_iq_full - snap[12])
+            t.count("cpu.stall.lsq_full", self.stall_lsq_full - snap[13])
+            t.count("cpu.stall.fetch_redirect",
+                    self.fetch_redirect_cycles - snap[14])
+            t.count("cpu.stall.fetch_bubble",
+                    self.fetch_stall_cycles - snap[15])
+            t.count("cpu.stall.fetch_backpressure",
+                    self.fetch_backpressure_cycles - snap[16])
+            t.observe("cpu.ipc", result.ipc)
+        return result
 
     # ------------------------------------------------------------------
     def _commit(self, cycle: int) -> int:
@@ -370,11 +407,14 @@ class Core:
             if avail > cycle:
                 break
             if len(self.rob) >= cfg.core.rob_size:
+                self.stall_rob_full += 1
                 break
             queue = self.iq_fp if instr.op.is_fp else self.iq_int
             if not queue.can_insert():
+                self.stall_iq_full += 1
                 break
             if instr.op.is_mem and not self.lsq.can_insert():
+                self.stall_lsq_full += 1
                 break
             self.dispatch_q.popleft()
             entry = RobEntry(instr)
@@ -392,8 +432,11 @@ class Core:
     def _fetch(self, cycle: int) -> None:
         cfg = self.cfg
         if self.trace_done or self.redirect_seq is not None:
+            if self.redirect_seq is not None:
+                self.fetch_redirect_cycles += 1
             return
         if cycle < self.fetch_stall_until:
+            self.fetch_stall_cycles += 1
             return
         # The dispatch queue holds everything in flight in the frontend
         # (frontend_latency cycles deep at full width) plus a small skid.
@@ -403,6 +446,7 @@ class Core:
         if len(self.dispatch_q) >= cfg.core.width * (
             cfg.core.mispredict_penalty + 4
         ):
+            self.fetch_backpressure_cycles += 1
             return
         for _ in range(cfg.fetch_width):
             instr = next(self.trace, None)

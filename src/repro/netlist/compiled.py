@@ -38,6 +38,7 @@ import numpy as np
 from repro.netlist.faults import StuckAt
 from repro.netlist.gates import Gate, GateType
 from repro.netlist.netlist import Netlist
+from repro.telemetry import TELEMETRY
 
 WORD_BITS = 64
 
@@ -322,6 +323,14 @@ class PackedWordSimulator:
         for level in c.levels:
             for bucket in level:
                 _eval_bucket(bucket, matrix)
+        t = TELEMETRY
+        if t.enabled:
+            t.count("engine.good_sim.calls")
+            t.count("engine.good_sim.patterns", npat)
+            t.count(
+                "engine.good_sim.net_words",
+                c.n_nets * int(packed.shape[1]),
+            )
         return WordValues(matrix, npat)
 
     # ------------------------------------------------------------------
@@ -360,6 +369,9 @@ class PackedWordSimulator:
 
         if fault.is_stem:
             if const == int_of(fault.net):
+                if TELEMETRY.enabled:
+                    TELEMETRY.count("engine.resim.calls")
+                    TELEMETRY.count("engine.resim.dead")
                 return delta  # stuck value equals good everywhere
             delta[fault.net] = const
             wake(fault.net)
@@ -380,6 +392,17 @@ class PackedWordSimulator:
             if out != int_of(g_output):
                 delta[g_output] = out
                 wake(g_output)
+        # Batched accounting: the walk itself stays untouched.  Every
+        # queued gate was popped exactly once (the queued set is never
+        # drained), so len(queued) is the event-driven re-eval count.
+        t = TELEMETRY
+        if t.enabled:
+            t.count("engine.resim.calls")
+            t.count("engine.resim.gate_evals", len(queued))
+            if delta:
+                t.observe("engine.resim.cone_nets", len(delta))
+            else:
+                t.count("engine.resim.dead")
         return delta
 
     # ------------------------------------------------------------------

@@ -90,6 +90,11 @@ def _isolation_init(spec: IsolationSpec) -> None:
     faults = sample_isolation_faults(
         model.netlist, spec.n_faults, spec.fault_seed
     )
+    # Warm the tester's gold-response cache here, not in the first shard:
+    # every process (inline, forked, or spawn-initialized) then enters
+    # its shards with identical cache state, which keeps per-shard
+    # telemetry counters independent of worker count.
+    setup.tester.good_response(setup.atpg.patterns)
     _ISOLATION.clear()
     _ISOLATION.update(spec=spec, setup=setup, faults=faults)
 

@@ -23,7 +23,9 @@ from pathlib import Path
 from typing import Any, Dict, Iterable, Mapping, Optional
 
 #: Bump when the checkpoint line format changes; part of every store key.
-SCHEMA_VERSION = 1
+#: v2: shard payloads are wrapped as {"result": ..., "metrics": ...} by
+#: the executor so per-shard telemetry survives checkpoint/resume.
+SCHEMA_VERSION = 2
 
 
 def config_hash(payload: Mapping[str, Any]) -> str:

@@ -19,6 +19,7 @@ from repro.netlist.compiled import PackedWordSimulator, make_simulator
 from repro.netlist.faults import StuckAt
 from repro.netlist.netlist import Netlist
 from repro.scan.chain import ScanChain
+from repro.telemetry import TELEMETRY
 
 
 @dataclass
@@ -70,7 +71,12 @@ class ScanTester:
         key = id(patterns)
         cached = self._good_cache.get(key)
         if cached is not None:
+            if TELEMETRY.enabled:
+                TELEMETRY.count("scan.good_cache_hits")
             return cached[1], cached[2]
+        if TELEMETRY.enabled:
+            TELEMETRY.count("scan.good_cache_misses")
+            TELEMETRY.count("scan.patterns_applied", int(patterns.shape[0]))
         values = self.sim.good_values(patterns)
         po, state = self.sim.capture(values)
         # Keep only the most recent pattern set to bound memory; the
@@ -84,6 +90,8 @@ class ScanTester:
         self, patterns: np.ndarray, fault: StuckAt
     ) -> TestResponse:
         """Response of the design carrying ``fault``."""
+        if TELEMETRY.enabled:
+            TELEMETRY.count("scan.faulty_responses")
         values, _ = self._good(patterns)
         delta = self.sim.faulty_values(values, fault)
         po, state = self.sim.capture(values, fault=fault, delta=delta)
@@ -108,6 +116,8 @@ class ScanTester:
         Scan-bit positions are chain indices — exactly what a tester reads
         off the scan-out pin and what the isolation table consumes.
         """
+        if TELEMETRY.enabled:
+            TELEMETRY.count("scan.failing_bits_queries")
         if isinstance(self.sim, PackedWordSimulator):
             # Word-backend fast path: mismatching observation points come
             # straight from the packed fault delta, no unpacking.

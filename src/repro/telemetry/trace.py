@@ -1,0 +1,100 @@
+"""JSONL trace sink: one event per line, a summary record at close.
+
+The trace format is deliberately minimal — every line is a standalone
+JSON object with an ``"ev"`` discriminator:
+
+- ``{"ev": "meta", "version": 1, "command": ..., "argv": [...],
+  "created_unix": ...}`` — first line, written at sink creation;
+- ``{"ev": "span", "name": "atpg/random", "t": 0.0123, "dur": 0.4567,
+  "depth": 1}`` — one per completed span, ``t`` relative to the sink
+  epoch (seconds);
+- ``{"ev": "summary", "metrics": {...}}`` — last line, the final merged
+  :class:`~repro.telemetry.core.Metrics` (counters, histograms, span
+  aggregates) of the whole run, including metrics collected in worker
+  processes and merged back by the runner.
+
+Only the parent process ever streams events: the runner suppresses the
+sink inside worker shards (their spans aggregate into per-shard metrics
+instead), so a trace file has a single writer and needs no locking.
+``repro trace summarize PATH`` renders the aggregation
+(:mod:`repro.telemetry.report`).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from repro.telemetry.core import Metrics
+
+#: Bump when the trace line format changes.
+TRACE_VERSION = 1
+
+
+class TraceSink:
+    """Append-only JSONL trace writer bound to one file."""
+
+    def __init__(
+        self, path, meta: Optional[Dict[str, Any]] = None
+    ) -> None:
+        self.path = Path(path)
+        if self.path.parent != Path(""):
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._f = open(self.path, "w")
+        self.n_events = 0
+        header = {
+            "ev": "meta",
+            "version": TRACE_VERSION,
+            "created_unix": round(time.time(), 3),
+        }
+        if meta:
+            header.update(meta)
+        self._write(header)
+        # Span timestamps are relative to this epoch (perf_counter domain,
+        # same clock the spans themselves use).
+        self.epoch = time.perf_counter()
+
+    def _write(self, obj: Dict[str, Any]) -> None:
+        self._f.write(json.dumps(obj, separators=(",", ":")) + "\n")
+
+    def event(self, obj: Dict[str, Any]) -> None:
+        """Stream one event line (spans call this on exit)."""
+        self._write(obj)
+        self.n_events += 1
+
+    def close(self, metrics: Optional[Metrics] = None) -> None:
+        """Write the summary record (when given) and close the file."""
+        if metrics is not None:
+            self._write({"ev": "summary", "metrics": metrics.to_json()})
+        self._f.close()
+
+
+def read_trace(path) -> Dict[str, Any]:
+    """Parse a trace file into ``{"meta", "spans", "summary"}``.
+
+    ``summary`` is a :class:`Metrics` (or None for a truncated trace);
+    garbled lines — a run killed mid-write — are skipped, mirroring the
+    checkpoint store's tolerance.
+    """
+    meta: Dict[str, Any] = {}
+    spans = []
+    summary: Optional[Metrics] = None
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+                ev = rec.get("ev")
+            except (json.JSONDecodeError, AttributeError):
+                continue
+            if ev == "meta":
+                meta = rec
+            elif ev == "span":
+                spans.append(rec)
+            elif ev == "summary":
+                summary = Metrics.from_json(rec["metrics"])
+    return {"meta": meta, "spans": spans, "summary": summary}

@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Tuple
 
 from repro.runner.seeding import derive_seed
+from repro.telemetry import TELEMETRY
 from repro.yieldmodel.area import AreaModel
 from repro.yieldmodel.configs import DIMENSIONS, CoreCounts
 from repro.yieldmodel.growth import cores_per_chip
@@ -279,14 +280,20 @@ def sample_chip_span(
 ) -> ChipSpan:
     """Sample chips ``start <= i < stop`` into one mergeable span."""
     span = ChipSpan(start=start, stop=stop)
-    for chip_idx in range(start, stop):
-        rel, dead, degraded = sample_chip(
-            seed, chip_idx, cores, alpha, theta, group_areas,
-            rescue_ipc, baseline_ipc,
-        )
-        span.relative_yat.append(rel)
-        span.dead += dead
-        span.degraded += degraded
+    with TELEMETRY.span("montecarlo/sample_span"):
+        for chip_idx in range(start, stop):
+            rel, dead, degraded = sample_chip(
+                seed, chip_idx, cores, alpha, theta, group_areas,
+                rescue_ipc, baseline_ipc,
+            )
+            span.relative_yat.append(rel)
+            span.dead += dead
+            span.degraded += degraded
+    t = TELEMETRY
+    if t.enabled:
+        t.count("montecarlo.chips", stop - start)
+        t.count("montecarlo.dead_cores", span.dead)
+        t.count("montecarlo.degraded_cores", span.degraded)
     return span
 
 
