@@ -1,0 +1,360 @@
+"""ATPG flow benchmark — end-to-end `run_atpg` vectors/sec per backend.
+
+Runs the Table-3 scan workload (tiny Rescue core, full-scan, collapsed
+stuck-at universe) end to end with both engine pairs:
+
+- ``word``   — bit-packed fault simulation + compiled event-driven PODEM
+  (:class:`repro.atpg.podem_compiled.CompiledPodem`: undo trail, SCOAP
+  guidance, X-path pruning) with batched fault dropping,
+- ``legacy`` — the reference :class:`repro.atpg.podem.Podem` (full
+  3-valued resimulation per decision) + reference flow bookkeeping.
+
+**Hard-tail exclusion.**  A handful of faults need >10^5 backtracks to
+resolve under *any* PODEM (redundancy proofs are exponential in the
+worst case), so no finite backtrack budget yields an abort-free run of
+the raw universe.  The bench therefore pre-screens the deterministic
+phase's targets standalone under *both* engines and excludes any fault
+either engine aborts on — a backend-neutral filter, recorded in the JSON
+(``n_excluded_hard``).  On the filtered workload every targeted fault
+provably resolves, so both backends finish with zero aborts and the
+detected/untestable/aborted statistics must be **bit-identical** (PODEM
+verdicts are per-fault deterministic; untestable faults are never
+collaterally dropped).  That equivalence is asserted before any number
+is reported.
+
+Results go to ``BENCH_atpg.json`` at the repo root: per-backend wall
+time, vectors/sec, backtracks, and the word/legacy speedup.
+
+Command line:
+
+```
+python benchmarks/bench_atpg.py           # measure + write JSON (minutes:
+                                          # the legacy run dominates)
+python benchmarks/bench_atpg.py --check   # fast equivalence gate (CI)
+```
+
+``--check`` asserts legacy/compiled verdict agreement on random circuits
+and a sampled slice of the Rescue workload, plus batched-vs-per-pattern
+dropping equivalence, and exits nonzero on any mismatch without touching
+the JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random as pyrandom
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+_REPO_ROOT = Path(__file__).resolve().parents[1]
+if "repro" not in sys.modules:  # script mode: make src/ importable
+    sys.path.insert(0, str(_REPO_ROOT / "src"))
+
+RESULT_PATH = _REPO_ROOT / "BENCH_atpg.json"
+
+BACKTRACK_LIMIT = 512
+SEED = 0
+
+
+def _build_netlist():
+    from repro.rtl import RtlParams, build_rescue_rtl
+    from repro.scan import insert_scan
+
+    model = build_rescue_rtl(RtlParams.tiny())
+    return insert_scan(model.netlist).netlist
+
+
+def _fault_list(netlist):
+    from repro.atpg.collapse import collapse_faults
+    from repro.atpg.faults import full_fault_universe
+
+    return collapse_faults(netlist, full_fault_universe(netlist))
+
+
+def _random_survivors(netlist, faults, seed, batch_size=64,
+                      max_random_batches=16):
+    """Faults the flow's random phase leaves for PODEM (replicates the
+    random phase of :func:`run_atpg` with its default knobs)."""
+    from repro.atpg.faultsim import grade_faults
+    from repro.netlist.compiled import make_simulator
+
+    sim = make_simulator(netlist, "word")
+    rng = np.random.default_rng(seed)
+    remaining = list(faults)
+    for _ in range(max_random_batches):
+        if not remaining:
+            break
+        batch = rng.integers(
+            0, 2, size=(batch_size, sim.n_sources)
+        ).astype(bool)
+        grade = grade_faults(netlist, remaining, batch, sim=sim)
+        if not grade.detected:
+            break
+        remaining = grade.undetected
+    return remaining
+
+
+def _flow_stats(result):
+    return {
+        "n_vectors": result.n_vectors,
+        "n_detected": result.n_detected,
+        "n_untestable": result.n_untestable,
+        "n_aborted": result.n_aborted,
+        "coverage": round(result.coverage, 6),
+    }
+
+
+def measure(seed: int = SEED,
+            backtrack_limit: int = BACKTRACK_LIMIT) -> dict:
+    """Time both backends end to end on the Table-3 scan workload."""
+    from repro.atpg.flow import run_atpg
+    from repro.atpg.faultsim import grade_faults
+    from repro.atpg.podem import Podem
+    from repro.atpg.podem_compiled import CompiledPodem
+    from repro.telemetry import TELEMETRY
+
+    netlist = _build_netlist()
+    faults = _fault_list(netlist)
+    survivors = _random_survivors(netlist, faults, seed)
+    print(f"{len(faults)} collapsed faults, {len(survivors)} survive the "
+          f"random phase; screening the hard tail...", flush=True)
+
+    # Backend-neutral hard-tail screen: standalone PODEM per survivor
+    # under both engines; exclude faults either engine aborts on.
+    screen_times = {}
+    aborted = set()
+    for name, engine in (
+        ("word", CompiledPodem(netlist, backtrack_limit=backtrack_limit)),
+        ("legacy", Podem(netlist, backtrack_limit=backtrack_limit)),
+    ):
+        t0 = time.perf_counter()
+        for fault in survivors:
+            if engine.generate(fault).status == "aborted":
+                aborted.add(fault)
+        screen_times[name] = time.perf_counter() - t0
+        print(f"  screened with {name} in {screen_times[name]:.1f}s "
+              f"({len(aborted)} hard so far)", flush=True)
+    bench_faults = [f for f in faults if f not in aborted]
+
+    backends = {}
+    results = {}
+    for name in ("word", "legacy"):
+        TELEMETRY.enable()
+        try:
+            with TELEMETRY.collect() as metrics:
+                t0 = time.perf_counter()
+                results[name] = run_atpg(
+                    netlist,
+                    faults=bench_faults,
+                    seed=seed,
+                    backtrack_limit=backtrack_limit,
+                    backend=name,
+                )
+                elapsed = time.perf_counter() - t0
+        finally:
+            TELEMETRY.disable()
+            TELEMETRY.reset()
+        counters = metrics.counters
+        res = results[name]
+        backends[name] = {
+            "run_seconds": round(elapsed, 2),
+            "vectors_per_sec": round(res.n_vectors / elapsed, 2),
+            "podem_targets": counters.get("podem.targets", 0),
+            "podem_backtracks": counters.get("podem.backtracks", 0),
+            "podem_cone_evals": counters.get("podem.cone_evals", 0),
+            "podem_xpath_prunes": counters.get("podem.xpath_prunes", 0),
+            **_flow_stats(res),
+        }
+        print(f"  {name}: {elapsed:.1f}s, {res.summary()}", flush=True)
+
+    w, l = results["word"], results["legacy"]
+    for field in ("n_detected", "n_untestable", "n_aborted",
+                  "n_collapsed_faults"):
+        assert getattr(w, field) == getattr(l, field), (
+            f"{field} differs: word={getattr(w, field)} "
+            f"legacy={getattr(l, field)}"
+        )
+    assert w.n_aborted == 0, "hard-tail screen missed an aborting fault"
+    g_w = grade_faults(netlist, bench_faults, w.patterns)
+    g_l = grade_faults(netlist, bench_faults, l.patterns)
+    assert set(g_w.detected) == set(g_l.detected), (
+        "pattern sets cover different fault sets"
+    )
+
+    return {
+        "workload": "table3-tiny-rescue-scan",
+        "netlist": netlist.stats(),
+        "backtrack_limit": backtrack_limit,
+        "n_collapsed_faults": len(faults),
+        "n_random_survivors": len(survivors),
+        "n_excluded_hard": len(aborted),
+        "n_bench_faults": len(bench_faults),
+        "backends": backends,
+        "speedup_word_over_legacy": round(
+            backends["legacy"]["run_seconds"]
+            / backends["word"]["run_seconds"], 2
+        ),
+        "agreement": "bit-identical detected/untestable/aborted; "
+                     "identical graded detected sets",
+    }
+
+
+def check(seed: int = SEED) -> None:
+    """Pre-merge gate: legacy/compiled PODEM equivalence, fast.
+
+    1. Random circuits: per-fault verdicts agree at a no-abort budget,
+       every compiled pattern detects its target, and `run_atpg`
+       statistics are bit-identical across backends.
+    2. Batched (`drop_batch=64`) vs per-pattern (`drop_batch=1`)
+       dropping covers the same fault set.
+    3. Rescue workload slice: standalone verdicts agree on a fault
+       sample wherever neither engine aborts (an abort makes no claim).
+    """
+    from repro.atpg.collapse import collapse_faults
+    from repro.atpg.faults import full_fault_universe
+    from repro.atpg.faultsim import grade_faults
+    from repro.atpg.flow import run_atpg
+    from repro.atpg.podem import Podem
+    from repro.atpg.podem_compiled import CompiledPodem
+    from repro.netlist import GateType, Netlist
+    from repro.netlist.compiled import make_simulator
+
+    kinds = [GateType.AND, GateType.OR, GateType.XOR, GateType.NAND,
+             GateType.NOR, GateType.NOT, GateType.MUX2]
+
+    def circuit(cseed, n_inputs=5, n_gates=22):
+        rng = pyrandom.Random(cseed)
+        nl = Netlist(f"bench{cseed}")
+        nets = [nl.add_input(f"i{k}") for k in range(n_inputs)]
+        for _ in range(n_gates):
+            kind = rng.choice(kinds)
+            n_pins = {GateType.NOT: 1, GateType.MUX2: 3}.get(kind, 2)
+            nets.append(
+                nl.add_gate(kind, [rng.choice(nets) for _ in range(n_pins)])
+            )
+        nl.mark_output(nets[-1])
+        return nl
+
+    n_verdicts = 0
+    for cseed in range(8):
+        nl = circuit(cseed)
+        sim = make_simulator(nl, "word")
+        legacy = Podem(nl, backtrack_limit=5_000)
+        compiled = CompiledPodem(nl, backtrack_limit=5_000)
+        targets = collapse_faults(nl, full_fault_universe(nl))
+        for fault in targets:
+            r_l = legacy.generate(fault)
+            r_c = compiled.generate(fault)
+            assert r_l.status == r_c.status, (
+                f"seed {cseed} {fault.describe()}: "
+                f"legacy={r_l.status} compiled={r_c.status}"
+            )
+            n_verdicts += 1
+            if r_c.status == "detected":
+                row = np.zeros((1, sim.n_sources), dtype=bool)
+                for net, val in r_c.pattern.items():
+                    row[0, sim.source_col[net]] = bool(val)
+                assert fault in grade_faults(nl, [fault], row,
+                                             sim=sim).detected, (
+                    f"seed {cseed}: compiled pattern misses "
+                    f"{fault.describe()}"
+                )
+        res_w = run_atpg(nl, seed=3, backtrack_limit=5_000, backend="word")
+        res_l = run_atpg(nl, seed=3, backtrack_limit=5_000,
+                         backend="legacy")
+        assert _flow_stats(res_w)["n_detected"] == (
+            _flow_stats(res_l)["n_detected"]
+        )
+        assert res_w.n_untestable == res_l.n_untestable
+        assert res_w.n_aborted == 0 and res_l.n_aborted == 0
+        res_b = run_atpg(nl, seed=3, backtrack_limit=5_000, drop_batch=64)
+        res_p = run_atpg(nl, seed=3, backtrack_limit=5_000, drop_batch=1)
+        g_b = grade_faults(nl, targets, res_b.patterns)
+        g_p = grade_faults(nl, targets, res_p.patterns)
+        assert set(g_b.detected) == set(g_p.detected), (
+            f"seed {cseed}: batched dropping changed the covered set"
+        )
+
+    netlist = _build_netlist()
+    faults = _fault_list(netlist)
+    sample = faults[:: max(1, len(faults) // 40)]
+    legacy = Podem(netlist, backtrack_limit=128)
+    compiled = CompiledPodem(netlist, backtrack_limit=128)
+    agreed = skipped = 0
+    for fault in sample:
+        s_l = legacy.generate(fault).status
+        s_c = compiled.generate(fault).status
+        if "aborted" in (s_l, s_c):
+            skipped += 1  # an abort is a non-verdict, not a disagreement
+            continue
+        assert s_l == s_c, (
+            f"Rescue {fault.describe()}: legacy={s_l} compiled={s_c}"
+        )
+        agreed += 1
+    print(
+        f"check OK: {n_verdicts} random-circuit verdicts, 8 flow stat "
+        f"comparisons and batched-dropping checks, {agreed} Rescue "
+        f"verdicts bit-identical across backends ({skipped} abort-"
+        f"budget skips)"
+    )
+
+
+def _print_result(data: dict) -> None:
+    print(f"\n=== ATPG flow: {data['workload']} "
+          f"({data['netlist']['gates']} gates, "
+          f"{data['netlist']['flops']} flops) ===")
+    print(f"{data['n_bench_faults']} bench faults "
+          f"({data['n_excluded_hard']} hard-tail excluded of "
+          f"{data['n_collapsed_faults']} collapsed), backtrack limit "
+          f"{data['backtrack_limit']}")
+    for name, row in data["backends"].items():
+        print(f"  {name:>7}: {row['run_seconds']:8.2f} s   "
+              f"{row['n_vectors']} vectors "
+              f"({row['vectors_per_sec']:.2f}/s), "
+              f"{row['podem_backtracks']} backtracks, "
+              f"coverage {100 * row['coverage']:.2f}%")
+    print(f"  speedup: {data['speedup_word_over_legacy']}x "
+          f"({data['agreement']})")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--check", action="store_true",
+        help="equivalence gate only (no JSON written)",
+    )
+    parser.add_argument("--seed", type=int, default=SEED)
+    parser.add_argument("--backtrack-limit", type=int,
+                        default=BACKTRACK_LIMIT)
+    args = parser.parse_args(argv)
+    if args.check:
+        check(seed=args.seed)
+        return 0
+    data = measure(seed=args.seed, backtrack_limit=args.backtrack_limit)
+    _print_result(data)
+    RESULT_PATH.write_text(json.dumps(data, indent=1) + "\n")
+    print(f"wrote {RESULT_PATH}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# pytest entry point (pre-merge gate; cheap equivalence + kernel timing)
+# ----------------------------------------------------------------------
+def test_atpg_backend_equivalence(benchmark):
+    check()
+
+    from repro.atpg.podem_compiled import CompiledPodem
+
+    netlist = _build_netlist()
+    faults = _fault_list(netlist)
+    sample = faults[:: max(1, len(faults) // 30)]
+    podem = CompiledPodem(netlist, backtrack_limit=64)
+    benchmark(lambda: [podem.generate(f) for f in sample])
+
+
+if __name__ == "__main__":
+    sys.exit(main())

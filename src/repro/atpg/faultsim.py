@@ -14,7 +14,9 @@ tractable.  Two engines are available (see
 
 Fault *dropping* lives in the callers (the ATPG flow and random phase):
 once a fault is detected it leaves the active list, so later pattern
-batches never re-simulate it.
+batches never re-simulate it.  The deterministic phase batches up to
+``drop_batch`` PODEM patterns per :func:`grade_faults` call so each drop
+pass fills whole 64-bit packed words instead of grading 1-row matrices.
 """
 
 from __future__ import annotations

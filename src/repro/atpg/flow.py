@@ -21,6 +21,7 @@ from repro.netlist.compiled import make_simulator
 from repro.netlist.faults import StuckAt
 from repro.netlist.netlist import Netlist
 from repro.atpg.podem import Podem
+from repro.atpg.podem_compiled import CompiledPodem
 from repro.telemetry import TELEMETRY
 
 
@@ -70,6 +71,7 @@ def run_atpg(
     max_deterministic: Optional[int] = None,
     compact: bool = True,
     backend: str = "word",
+    drop_batch: int = 64,
 ) -> AtpgResult:
     """Generate a compact scan vector set for ``netlist``.
 
@@ -85,12 +87,19 @@ def run_atpg(
             the cap count as aborted); None means no cap.
         compact: run reverse-order static compaction on the final set
             (coverage-preserving; production flows always do).
-        backend: fault-simulation engine — ``"word"`` (bit-packed,
-            default) or ``"legacy"`` (reference).
+        backend: engine pair — ``"word"`` (bit-packed fault simulation +
+            compiled event-driven PODEM, default) or ``"legacy"``
+            (reference simulator + reference PODEM).
+        drop_batch: deterministic-phase patterns accumulated before each
+            fault-dropping ``grade_faults`` call (fills whole 64-bit
+            packed words instead of grading 1-row matrices).  ``1``
+            reproduces per-pattern dropping exactly.
 
     Returns:
         An :class:`AtpgResult` with the kept patterns and statistics.
     """
+    if drop_batch < 1:
+        raise ValueError(f"drop_batch must be >= 1, got {drop_batch}")
     rng = np.random.default_rng(seed)
     universe = full_fault_universe(netlist)
     targets = list(faults) if faults is not None else collapse_faults(
@@ -119,49 +128,81 @@ def run_atpg(
     n_random_detected = n_detected
 
     # ---- Deterministic phase ------------------------------------------
-    podem = Podem(netlist, backtrack_limit=backtrack_limit)
+    if backend == "legacy":
+        podem = Podem(netlist, backtrack_limit=backtrack_limit)
+    else:
+        podem = CompiledPodem(
+            netlist,
+            backtrack_limit=backtrack_limit,
+            compiled=getattr(sim, "compiled", None),
+        )
     n_untestable = 0
     n_aborted = 0
     n_targeted = 0
+    # Cursor bookkeeping: ``idx`` walks ``remaining`` in place (no
+    # per-fault list copies); detected-target patterns accumulate in
+    # ``pending`` and are graded ``drop_batch`` at a time so dropping
+    # fills whole packed words.
+    idx = 0
+    pending_rows: List[np.ndarray] = []
+    pending_targets: List[StuckAt] = []
+
+    def _flush() -> None:
+        """Grade pending patterns against every live fault and drop hits."""
+        nonlocal remaining, idx, n_detected
+        if not pending_rows:
+            return
+        live = pending_targets + remaining[idx:]
+        grade = grade_faults(
+            netlist, live, np.stack(pending_rows, axis=0), sim=sim
+        )
+        for f in pending_targets:
+            if f not in grade.detected:
+                # X-fill changed nothing about the targeted detection;
+                # PODEM guarantees the assigned bits detect the fault, so
+                # any miss here indicates an inconsistency worth
+                # surfacing loudly.
+                raise AssertionError(
+                    f"PODEM pattern failed to detect {f.describe()}"
+                )
+        n_detected += len(grade.detected)
+        remaining = grade.undetected
+        idx = 0
+        pending_rows.clear()
+        pending_targets.clear()
+
     with TELEMETRY.span("atpg/deterministic"):
-        while remaining:
+        while idx < len(remaining):
             if (
                 max_deterministic is not None
                 and n_targeted >= max_deterministic
             ):
-                n_aborted += len(remaining)
+                _flush()
+                n_aborted += len(remaining) - idx
                 remaining = []
                 break
             n_targeted += 1
-            fault = remaining[0]
+            fault = remaining[idx]
             result = podem.generate(fault)
             if result.status == "untestable":
                 n_untestable += 1
-                remaining = remaining[1:]
+                idx += 1
                 continue
             if result.status == "aborted":
                 n_aborted += 1
-                remaining = remaining[1:]
+                idx += 1
                 continue
             row = rng.integers(0, 2, size=n_src).astype(bool)
             assert result.pattern is not None
             for net, val in result.pattern.items():
                 row[sim.source_col[net]] = bool(val)
             kept_rows.append(row)
-            # Drop every remaining fault this pattern happens to detect.
-            grade = grade_faults(
-                netlist, remaining, row.reshape(1, -1), sim=sim
-            )
-            if fault not in grade.detected:
-                # X-fill changed nothing about the targeted detection;
-                # PODEM guarantees the assigned bits detect the fault, so
-                # any miss here indicates an inconsistency worth
-                # surfacing loudly.
-                raise AssertionError(
-                    f"PODEM pattern failed to detect {fault.describe()}"
-                )
-            n_detected += len(grade.detected)
-            remaining = grade.undetected
+            pending_rows.append(row)
+            pending_targets.append(fault)
+            idx += 1
+            if len(pending_rows) >= drop_batch:
+                _flush()
+        _flush()
 
     patterns = (
         np.stack(kept_rows, axis=0)

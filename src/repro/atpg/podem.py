@@ -23,6 +23,16 @@ from repro.telemetry import TELEMETRY
 
 X = 2  # unknown value in the 3-valued calculus
 
+#: Non-controlling input value per gate type (module-level so the hot
+#: D-frontier loop does not rebuild a dict per gate per decision).
+#: Types without a controlling value (XOR and friends) default to 0.
+_NONCONTROL = {
+    GateType.AND: 1,
+    GateType.NAND: 1,
+    GateType.OR: 0,
+    GateType.NOR: 0,
+}
+
 
 def _eval3(gtype: GateType, ins: List[int]) -> int:
     if gtype is GateType.AND or gtype is GateType.NAND:
@@ -236,12 +246,7 @@ class Podem:
             # Skip gates whose composite output settled since collection.
             if st.good[g.output] != X and st.faulty[g.output] != X:
                 continue
-            noncontrol = {
-                GateType.AND: 1,
-                GateType.NAND: 1,
-                GateType.OR: 0,
-                GateType.NOR: 0,
-            }.get(g.gtype, 0)
+            noncontrol = _NONCONTROL.get(g.gtype, 0)
             for pin, net in enumerate(g.inputs):
                 if st.good[net] == X:
                     if g.gtype is GateType.MUX2 and pin == 2:

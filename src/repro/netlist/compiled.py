@@ -119,6 +119,16 @@ class CompiledNetlist:
             row ``source_idx[c]`` of the value matrix is pattern column c.
         po_cols / d_fids: observation maps net -> PO indices / flop fids.
         obs_nets: every net that is a PO or a flop D input.
+
+    Cone-walk / levelization hooks (the surface the compiled PODEM and
+    the event-driven faulty re-simulation share):
+
+    - ``readers[net]``: gate ids reading ``net`` (fanout adjacency),
+    - ``topo_pos[gid]``: position of gate ``gid`` in topological order
+      (the heap key that makes an event-driven walk single-pass),
+    - ``gate_tuples[gid]``: flat ``(gtype, inputs, output)`` triples,
+    - ``driver_gid[net]``: gate driving ``net`` (-1 for sources/floating),
+    - ``level_of_net[net]``: topological level of ``net`` (0 = sources).
     """
 
     def __init__(self, netlist: Netlist) -> None:
@@ -141,7 +151,7 @@ class CompiledNetlist:
         for f in netlist.flops:
             self.d_fids.setdefault(f.d_net, []).append(f.fid)
         self.obs_nets: Set[int] = set(self.po_cols) | set(self.d_fids)
-        self.levels = self._levelize(netlist)
+        self.levels, self.level_of_net = self._levelize(netlist)
         # Flat per-gate views for the event-driven faulty re-simulation:
         # reader lists (net -> gate ids), topo position per gate, and
         # (type, inputs, output) tuples (cheaper than Gate attribute
@@ -156,10 +166,19 @@ class CompiledNetlist:
         self.gate_tuples: List[Tuple[GateType, Tuple[int, ...], int]] = [
             (g.gtype, g.inputs, g.output) for g in netlist.gates
         ]
+        self.driver_gid: List[int] = [-1] * self.n_nets
+        for g in netlist.gates:
+            self.driver_gid[g.output] = g.gid
 
     @staticmethod
-    def _levelize(netlist: Netlist) -> List[List[_Bucket]]:
-        """Group gates into levels, then (type, arity) buckets per level."""
+    def _levelize(
+        netlist: Netlist,
+    ) -> Tuple[List[List[_Bucket]], List[int]]:
+        """Group gates into levels, then (type, arity) buckets per level.
+
+        Returns ``(levels, level_of_net)``; the per-net level array is
+        kept on the compiled netlist as a levelization hook.
+        """
         level_of_net = [0] * netlist.n_nets
         by_shape: Dict[Tuple[int, GateType, int], List[Gate]] = {}
         max_level = 0
@@ -177,7 +196,7 @@ class CompiledNetlist:
                                               kv[0][2])
         ):
             levels[lvl].append(_Bucket(gtype, gates))
-        return levels
+        return levels, level_of_net
 
 
 
