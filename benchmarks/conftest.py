@@ -2,8 +2,8 @@
 
 Each ``bench_*.py`` file regenerates one of the paper's tables or figures
 (see DESIGN.md's per-experiment index).  Heavy results are cached under
-``.rescue_cache`` so repeated runs are fast; delete that directory (or set
-``RESCUE_CACHE_DIR``) to force recomputation.
+``.repro_cache`` so repeated runs are fast; delete that directory (or set
+``REPRO_CACHE_DIR``) to force recomputation.
 
 Environment knobs:
 
@@ -39,7 +39,16 @@ BENCH_WARMUP = env_int("RESCUE_BENCH_WARMUP", 12_000)
 FULL_SWEEP = os.environ.get("RESCUE_FULL", "") not in ("", "0")
 N_FAULTS = env_int("RESCUE_FAULTS", 600)
 
-CACHE_DIR = Path(os.environ.get("RESCUE_CACHE_DIR", ".rescue_cache"))
+def _cache_dir() -> Path:
+    # Unified cache root: REPRO_CACHE_DIR, with the pre-unification
+    # RESCUE_CACHE_DIR honoured as a deprecated fallback.
+    root = os.environ.get("REPRO_CACHE_DIR")
+    if root is None:
+        root = os.environ.get("RESCUE_CACHE_DIR")
+    return Path(root if root is not None else ".repro_cache")
+
+
+CACHE_DIR = _cache_dir()
 
 
 def cache_json(name: str):

@@ -9,6 +9,8 @@ Thin wrappers over the library for the common flows:
   chips for a scenario (Figure 9, analytic IPC penalties for speed);
 - ``repro graph`` — print the ICI report of the baseline and Rescue
   component graphs;
+- ``repro inject`` — architectural fault injection on the cycle-level
+  core with masked/SDC/detected/hang classification;
 - ``repro run`` — the sharded campaign runner (``--workers N`` processes,
   ``--resume`` to continue from ``.repro_cache/`` checkpoints);
 - ``repro trace`` — summarize a JSONL trace written by ``--trace PATH``.
@@ -25,6 +27,10 @@ from __future__ import annotations
 import argparse
 import sys
 from typing import List, Optional
+
+#: Campaigns `repro run` can shard; single source for parser choices,
+#: dispatch, and the CLI tests' round-trip assertion.
+RUN_CAMPAIGNS = ("isolation", "montecarlo", "ipc", "inject")
 
 
 def _cmd_isolate(args: argparse.Namespace) -> int:
@@ -199,6 +205,19 @@ def _cmd_run(args: argparse.Namespace) -> int:
         )
         print(stats.summary())
         return 0 if stats.correct_rate == 1.0 or args.baseline else 1
+    if args.campaign == "inject":
+        from repro.inject import InjectionSpec, run_injection
+
+        spec = InjectionSpec(
+            n_faults=args.faults,
+            seed=args.seed,
+            chunk_size=args.chunk_size or 8,
+        )
+        stats = run_injection(
+            spec, progress=_progress_printer("inject"), **common
+        )
+        print(stats.summary())
+        return 0
     if args.campaign == "montecarlo":
         spec = MonteCarloSpec(
             node_nm=args.node,
@@ -230,6 +249,54 @@ def _cmd_run(args: argparse.Namespace) -> int:
             f"{bench:10s} {max(table.values()):9.3f} "
             f"{min(table.values()):13.3f}"
         )
+    return 0
+
+
+def _cmd_inject(args: argparse.Namespace) -> int:
+    from repro.inject import InjectionSpec, run_injection
+    from repro.inject.campaign import DIMENSIONS
+    from repro.inject.sites import mapped_out_blocks
+    from repro.yieldmodel.configs import CoreCounts
+
+    counts = (1,) * 6 if args.config == "degraded" else (2,) * 6
+    blocks = None
+    if args.blocks == "mapped-out":
+        blocks = mapped_out_blocks(
+            CoreCounts(**{d: 1 for d in DIMENSIONS})
+        )
+    spec = InjectionSpec(
+        benchmark=args.benchmark,
+        n_instructions=args.instructions,
+        trace_seed=args.trace_seed,
+        counts=counts,
+        model=args.model,
+        n_faults=args.sites,
+        seed=args.seed,
+        blocks=blocks,
+        chunk_size=args.chunk_size,
+    )
+    stats = run_injection(
+        spec,
+        workers=args.workers,
+        resume=args.resume,
+        checkpoint=not args.no_checkpoint,
+        cache_root=args.cache_dir,
+        progress=_progress_printer("inject"),
+    )
+    print(
+        f"config: {args.config}  model: {args.model}  "
+        f"blocks: {args.blocks}"
+    )
+    print(stats.summary())
+    if args.config == "degraded" and args.blocks == "mapped-out":
+        # The paper's claim: mapped-out blocks cannot corrupt state.
+        ok = stats.outcomes.get("masked", 0) == stats.n
+        print(
+            "masking: PASS (every fault in a mapped-out block masked)"
+            if ok
+            else "masking: FAIL (fault escaped a mapped-out block)"
+        )
+        return 0 if ok else 1
     return 0
 
 
@@ -304,6 +371,49 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_lint)
 
     p = sub.add_parser(
+        "inject",
+        help="architectural fault injection & SDC classification",
+        description=(
+            "Inject transient bit-flips / stuck-ats into named "
+            "microarchitectural state (ROB, issue queues, LSQ, physical "
+            "registers, rename map, fetch PC) of a running core and "
+            "classify each outcome against a golden run as masked, sdc, "
+            "detected, or hang.  With --config degraded --blocks "
+            "mapped-out, validates the paper's claim that faults in "
+            "mapped-out ICI blocks are always masked (exit 1 on any "
+            "escape)."
+        ),
+    )
+    p.add_argument("--sites", type=int, default=64,
+                   help="number of sampled fault injections (default 64)")
+    p.add_argument("--model", choices=("transient", "stuckat", "both"),
+                   default="both", help="fault model (default both)")
+    p.add_argument("--config", choices=("full", "degraded"),
+                   default="full",
+                   help="run on the full core or the fully-degraded one")
+    p.add_argument("--blocks", choices=("all", "mapped-out"),
+                   default="all",
+                   help="sample sites from all ICI blocks or only the "
+                        "half-1 blocks a degraded core maps out")
+    p.add_argument("--benchmark", default="gzip")
+    p.add_argument("--instructions", type=int, default=2000)
+    p.add_argument("--trace-seed", type=int, default=7)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes (default 1 = in-process)")
+    p.add_argument("--chunk-size", type=int, default=8,
+                   help="injections per shard (default 8)")
+    p.add_argument("--resume", action="store_true",
+                   help="reuse completed shards from the checkpoint store")
+    p.add_argument("--no-checkpoint", action="store_true",
+                   help="do not write shard checkpoints")
+    p.add_argument("--cache-dir", default=None,
+                   help="checkpoint root (default .repro_cache or "
+                        "$REPRO_CACHE_DIR)")
+    add_trace_flag(p)
+    p.set_defaults(func=_cmd_inject)
+
+    p = sub.add_parser(
         "run",
         help="sharded campaign runner with checkpoint/resume",
         description=(
@@ -313,7 +423,13 @@ def build_parser() -> argparse.ArgumentParser:
             "the cache dir so --resume continues an interrupted run."
         ),
     )
-    p.add_argument("campaign", choices=("isolation", "montecarlo", "ipc"))
+    p.add_argument(
+        "campaign", choices=RUN_CAMPAIGNS,
+        help="isolation: random-fault scan isolation (§6.1); "
+             "montecarlo: chip-sampling YAT check (§6.3); "
+             "ipc: degraded-configuration IPC sweep (Figure 9); "
+             "inject: architectural fault injection / SDC classification",
+    )
     p.add_argument("--workers", type=int, default=1,
                    help="worker processes (default 1 = in-process)")
     p.add_argument("--resume", action="store_true",

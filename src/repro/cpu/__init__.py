@@ -10,15 +10,19 @@ SimpleScalar, Section 5).
   ICI-transformed two-half variant with the temporary compaction latch and
   the select/replay policy) and the LSQ,
 - :mod:`repro.cpu.pipeline` — the core model,
+- :mod:`repro.cpu.archstate` — the architectural-value layer driven by
+  the core's observation hooks (the fault-injection substrate),
 - :mod:`repro.cpu.degraded` — degraded-configuration sweeps for YAT.
 """
 
 from repro.cpu.params import CoreParams, MachineConfig
 from repro.cpu.isa import Instr, OpClass
 from repro.cpu.pipeline import Core, SimResult
+from repro.cpu.archstate import ArchState
 from repro.cpu.degraded import degraded_params, simulate_config
 
 __all__ = [
+    "ArchState",
     "Core",
     "CoreParams",
     "Instr",

@@ -9,7 +9,6 @@ instant.
 from __future__ import annotations
 
 import json
-import os
 from pathlib import Path
 from typing import Dict, Optional, Tuple
 
@@ -62,8 +61,11 @@ class IpcCache:
 
     def __init__(self, path: Optional[Path] = None) -> None:
         if path is None:
-            root = os.environ.get("RESCUE_CACHE_DIR", ".rescue_cache")
-            path = Path(root) / "ipc_cache.json"
+            # Same root as the runner's checkpoint store; honours
+            # REPRO_CACHE_DIR (RESCUE_CACHE_DIR as deprecated fallback).
+            from repro.runner.store import default_cache_root
+
+            path = default_cache_root() / "ipc_cache.json"
         self.path = Path(path)
         self._data: Dict[str, float] = {}
         if self.path.exists():

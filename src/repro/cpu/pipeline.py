@@ -77,9 +77,18 @@ class SimResult:
 class Core:
     """One core, one run."""
 
-    def __init__(self, config: MachineConfig, trace: Iterable[Instr]) -> None:
+    def __init__(
+        self,
+        config: MachineConfig,
+        trace: Iterable[Instr],
+        arch=None,
+    ) -> None:
         self.cfg = config
         self.trace = iter(trace)
+        # Optional architectural-value observer (repro.cpu.archstate); the
+        # fault layer shares its forced-readiness set with the scheduler.
+        self.arch = arch
+        self._forced = arch.forced_ready if arch is not None else None
         self.predictor = FrontendPredictor(config.core)
         self.mem = MemoryHierarchy(config)
         if config.rescue:
@@ -148,6 +157,9 @@ class Core:
     def _ready(self, instr: Instr, cycle: int) -> bool:
         opt = self.opt_done
         seq = instr.seq
+        forced = self._forced
+        if forced and seq in forced:
+            return True
         for d in instr.deps:
             t = opt.get(seq - d)
             if t is not None and t > cycle:
@@ -182,8 +194,15 @@ class Core:
         start_cycle = 0
         snap = None
         total = max_instructions + warmup
+        arch = self.arch
         while committed < total and cycle < max_cycles:
+            if arch is not None:
+                arch.begin_cycle(self, cycle)
+                if arch.stopped:
+                    break
             committed += self._commit(cycle)
+            if arch is not None and arch.stopped:
+                break
             if snap is None and committed >= warmup:
                 start_cycle = cycle
                 snap = (
@@ -273,6 +292,10 @@ class Core:
                 break
             self.rob.popleft()
             instr = head.instr
+            if self.arch is not None:
+                self.arch.on_commit(self, instr, cycle)
+                if self.arch.stopped:
+                    break
             if instr.op is OpClass.STORE and instr.addr is not None:
                 self.mem.store_touch(instr.addr)
             self.opt_done.pop(instr.seq, None)
@@ -356,17 +379,22 @@ class Core:
 
     def _execute(self, selected, queue, cycle: int) -> None:
         l1_lat = self.cfg.core.l1d_latency
+        forced = self._forced
         for e in selected:
             instr = e.instr
-            if self._missed_speculation(instr, cycle):
+            if self._missed_speculation(instr, cycle) and not (
+                forced and instr.seq in forced
+            ):
                 # Issued on a speculative (load-hit) wakeup that turned out
                 # wrong: squash and retry once the operand really arrives.
                 queue.replay([e])
                 self.load_squashes += 1
                 continue
+            fwd_seq = None
             if instr.op is OpClass.LOAD:
                 assert instr.addr is not None
-                if self.lsq.forwards(instr.seq, instr.addr):
+                fwd_seq = self.lsq.forward_from(instr.seq, instr.addr)
+                if fwd_seq is not None:
                     latency = l1_lat
                 else:
                     latency = self.mem.load_latency(instr.addr)
@@ -391,6 +419,8 @@ class Core:
                 self.opt_done[instr.seq] = done
             self.issued_total += 1
             self._rob_index[instr.seq].done = self.act_done[instr.seq]
+            if self.arch is not None:
+                self.arch.on_execute(self, instr, cycle, fwd_seq)
             if instr.op is OpClass.BRANCH and instr.seq == self.redirect_seq:
                 self.fetch_stall_until = int(self.act_done[instr.seq])
                 self.redirect_seq = None
@@ -426,6 +456,8 @@ class Core:
                 self.lsq.insert(
                     instr.seq, instr.op is OpClass.STORE, instr.addr or 0
                 )
+            if self.arch is not None:
+                self.arch.on_dispatch(self, instr, cycle)
             n += 1
 
     # ------------------------------------------------------------------
@@ -448,11 +480,13 @@ class Core:
         ):
             self.fetch_backpressure_cycles += 1
             return
-        for _ in range(cfg.fetch_width):
+        for way in range(cfg.fetch_width):
             instr = next(self.trace, None)
             if instr is None:
                 self.trace_done = True
                 return
+            if self.arch is not None:
+                instr = self.arch.on_fetch(self, instr, way, cycle)
             self.dispatch_q.append((cycle + frontend_latency, instr))
             if instr.op is OpClass.BRANCH:
                 wrong = self.predictor.predict_and_update(

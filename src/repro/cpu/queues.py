@@ -275,13 +275,19 @@ class LoadStoreQueue:
 
     def forwards(self, seq: int, addr: int) -> bool:
         """True when an older store to the same block is still queued."""
+        return self.forward_from(seq, addr) is not None
+
+    def forward_from(self, seq: int, addr: int) -> Optional[int]:
+        """Sequence number of the *youngest* older queued store to the
+        same block (the one a load actually forwards from), or None."""
         blk = addr // self.block
+        found: Optional[int] = None
         for s, is_store, b in self.entries:
             if s >= seq:
                 break
             if is_store and b == blk:
-                return True
-        return False
+                found = s
+        return found
 
     def retire_upto(self, seq: int) -> None:
         """Drop entries at or below the committed sequence number."""

@@ -1,0 +1,280 @@
+"""Sharded fault-injection campaigns with worker-invariant statistics.
+
+Follows the runner's campaign recipe: a frozen :class:`InjectionSpec`
+captures every parameter that affects the result and is hashed into the
+checkpoint key; a worker-global initializer builds the heavy shared
+state (trace, golden run, fault sample) once per process; shards are
+contiguous fault-index spans whose JSON payloads merge in shard order
+into an :class:`InjectionStats` that is bit-identical for any worker
+count, chunk size, or checkpoint/resume history.
+
+:func:`masking_validation` runs the paper's headline experiment: the
+same fault sample restricted to mapped-out ICI blocks, once on the
+fully-degraded configuration (where every fault must be masked) and
+once on the full configuration (where the same blocks are live and the
+sample produces a nonzero SDC rate).
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field, replace
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.runner.executor import ProgressFn, run_shards
+from repro.runner.seeding import shard_ranges
+from repro.runner.store import CheckpointStore, config_hash
+from repro.telemetry import TELEMETRY
+
+OUTCOMES = ("masked", "sdc", "detected", "hang")
+
+#: Fault-map dimension order for the ``counts`` tuple.
+DIMENSIONS = (
+    "frontend", "int_backend", "fp_backend", "iq_int", "iq_fp", "lsq"
+)
+
+
+@dataclass(frozen=True)
+class InjectionSpec:
+    """Everything that determines an injection campaign's outcome."""
+
+    benchmark: str = "gzip"
+    n_instructions: int = 2000
+    trace_seed: int = 7
+    counts: Tuple[int, ...] = (2, 2, 2, 2, 2, 2)  # DIMENSIONS order
+    model: str = "both"  # transient | stuckat | both
+    n_faults: int = 64
+    seed: int = 0
+    blocks: Optional[Tuple[str, ...]] = None  # restrict sites to blocks
+    chunk_size: int = 8
+
+
+@dataclass
+class InjectionStats:
+    """Merged campaign result: outcome counts + per-fault records."""
+
+    outcomes: Dict[str, int] = field(
+        default_factory=lambda: {k: 0 for k in OUTCOMES}
+    )
+    records: List[Dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def n(self) -> int:
+        return sum(self.outcomes.values())
+
+    def rate(self, outcome: str) -> float:
+        return self.outcomes.get(outcome, 0) / self.n if self.n else 0.0
+
+    def add(self, fault, result) -> None:
+        self.outcomes[result.outcome] += 1
+        self.records.append(
+            {
+                "fault": fault.to_json(),
+                "block": fault.site.block,
+                "outcome": result.outcome,
+                "cycles": result.cycles,
+                "commits": result.commits,
+                "armed": result.armed,
+                "detect_reason": result.detect_reason,
+                "detect_latency": result.detect_latency,
+                "commit_distance": result.commit_distance,
+            }
+        )
+
+    def merge(self, other: "InjectionStats") -> "InjectionStats":
+        """Combine two shard results (records concatenate in shard
+        order, so the merged list is the serial campaign's list)."""
+        outcomes = {
+            k: self.outcomes.get(k, 0) + other.outcomes.get(k, 0)
+            for k in OUTCOMES
+        }
+        return InjectionStats(outcomes, self.records + other.records)
+
+    def to_json(self) -> Dict[str, Any]:
+        return {"outcomes": self.outcomes, "records": self.records}
+
+    @classmethod
+    def from_json(cls, d: Dict[str, Any]) -> "InjectionStats":
+        outcomes = {k: 0 for k in OUTCOMES}
+        outcomes.update({k: int(v) for k, v in d["outcomes"].items()})
+        return cls(outcomes, list(d["records"]))
+
+    def summary(self) -> str:
+        lines = [f"injections: {self.n}"]
+        for k in OUTCOMES:
+            c = self.outcomes.get(k, 0)
+            lines.append(f"  {k:9s} {c:6d}  ({self.rate(k):6.1%})")
+        latencies = [
+            r["detect_latency"]
+            for r in self.records
+            if r["detect_latency"] is not None
+        ]
+        if latencies:
+            lines.append(
+                f"  detection latency: mean "
+                f"{sum(latencies) / len(latencies):.1f} cycles"
+            )
+        distances = [
+            r["commit_distance"]
+            for r in self.records
+            if r["commit_distance"] is not None
+        ]
+        if distances:
+            lines.append(
+                f"  corruption distance: mean "
+                f"{sum(distances) / len(distances):.1f} commits"
+            )
+        return "\n".join(lines)
+
+
+# Worker-global campaign state: {"spec", "golden", "faults"}.  Built once
+# per worker by _inject_init; forked workers inherit it copy-free when
+# the parent called prepare_injection() first.
+_INJECT: Dict[str, Any] = {}
+
+
+def _build_config(spec: InjectionSpec):
+    from repro.cpu.degraded import degraded_params
+    from repro.cpu.params import MachineConfig
+    from repro.yieldmodel.configs import CoreCounts
+
+    counts = CoreCounts(**dict(zip(DIMENSIONS, spec.counts)))
+    return degraded_params(MachineConfig(rescue=True), counts), counts
+
+
+def _inject_init(spec: InjectionSpec) -> None:
+    if _INJECT.get("spec") == spec and "golden" in _INJECT:
+        return
+    from repro.inject.harness import run_golden
+    from repro.inject.models import sample_faults
+    from repro.inject.sites import enumerate_sites, sites_in_blocks
+    from repro.workloads.generator import generate_trace
+    from repro.workloads.profiles import profile
+
+    config, _ = _build_config(spec)
+    trace = generate_trace(
+        profile(spec.benchmark), spec.n_instructions, seed=spec.trace_seed
+    )
+    golden = run_golden(config, trace, spec.n_instructions)
+    sites = enumerate_sites(config)
+    if spec.blocks is not None:
+        sites = sites_in_blocks(sites, spec.blocks)
+    faults = sample_faults(
+        sites, spec.n_faults, spec.seed, spec.model, config, golden.cycles
+    )
+    _INJECT.clear()
+    _INJECT.update(spec=spec, golden=golden, faults=faults)
+
+
+def _inject_worker(span: Tuple[int, int]) -> Dict:
+    from repro.inject.harness import run_with_fault
+
+    start, stop = span
+    golden = _INJECT["golden"]
+    stats = InjectionStats()
+    t = TELEMETRY
+    for fault in _INJECT["faults"][start:stop]:
+        with t.span("inject.run"):
+            result = run_with_fault(golden, fault)
+        stats.add(fault, result)
+        if t.enabled:
+            t.count("inject.runs")
+            t.count(f"inject.outcome.{result.outcome}")
+            t.count("inject.faulty_cycles", result.cycles)
+            if result.detect_latency is not None:
+                t.observe("inject.detect_latency", result.detect_latency)
+            if result.commit_distance is not None:
+                t.observe(
+                    "inject.commit_distance", result.commit_distance
+                )
+    return stats.to_json()
+
+
+def prepare_injection(spec: InjectionSpec):
+    """Build trace + golden run + fault sample in the calling process.
+
+    Call before :func:`run_injection` so forked workers inherit the
+    golden run instead of re-simulating it per process.
+    """
+    _inject_init(spec)
+    return _INJECT["golden"], _INJECT["faults"]
+
+
+def run_injection(
+    spec: InjectionSpec,
+    *,
+    workers: int = 1,
+    resume: bool = False,
+    checkpoint: bool = True,
+    cache_root: Optional[str] = None,
+    progress: Optional[ProgressFn] = None,
+) -> InjectionStats:
+    """Run the sharded injection campaign; returns merged stats.
+
+    Bit-identical for any ``workers``/``chunk_size``/resume history:
+    faults are sampled from per-index seed streams, each injection is an
+    independent deterministic simulation, and shard payloads merge in
+    shard-index order.
+    """
+    prepare_injection(spec)
+    spans = shard_ranges(len(_INJECT["faults"]), spec.chunk_size)
+    store = _campaign_store(spec, checkpoint, cache_root)
+    payloads = run_shards(
+        spans,
+        _inject_worker,
+        workers=workers,
+        initializer=_inject_init,
+        initargs=(spec,),
+        store=store,
+        resume=resume,
+        progress=progress,
+    )
+    merged = InjectionStats()
+    for payload in payloads:
+        merged = merged.merge(InjectionStats.from_json(payload))
+    return merged
+
+
+def _campaign_store(
+    spec: InjectionSpec, checkpoint: bool, cache_root: Optional[str]
+) -> Optional[CheckpointStore]:
+    if not checkpoint:
+        return None
+    return CheckpointStore(
+        "inject", config_hash(asdict(spec)), root=cache_root
+    )
+
+
+def masking_validation(
+    base_spec: Optional[InjectionSpec] = None,
+    *,
+    workers: int = 1,
+    resume: bool = False,
+    checkpoint: bool = True,
+    cache_root: Optional[str] = None,
+    progress: Optional[ProgressFn] = None,
+) -> Dict[str, InjectionStats]:
+    """The degraded-mode masking experiment (paper's headline property).
+
+    Samples faults only from the six half-1 ICI blocks, then runs the
+    sample on (a) the fully-degraded configuration, where those blocks
+    are mapped out — every fault must classify ``masked`` — and (b) the
+    full configuration, where the same blocks are live and the sample
+    produces SDCs/hangs/detections.  Returns ``{"degraded": stats,
+    "full": stats}``.
+    """
+    from repro.inject.sites import mapped_out_blocks
+    from repro.yieldmodel.configs import CoreCounts
+
+    spec = base_spec if base_spec is not None else InjectionSpec()
+    shadow = mapped_out_blocks(CoreCounts(**{d: 1 for d in DIMENSIONS}))
+    kwargs = dict(
+        workers=workers, resume=resume, checkpoint=checkpoint,
+        cache_root=cache_root, progress=progress,
+    )
+    degraded = run_injection(
+        replace(spec, counts=(1,) * 6, blocks=shadow), **kwargs
+    )
+    full = run_injection(
+        replace(spec, counts=(2,) * 6, blocks=shadow), **kwargs
+    )
+    return {"degraded": degraded, "full": full}

@@ -1,0 +1,125 @@
+"""Golden/faulty paired execution and outcome classification.
+
+One :class:`GoldenRun` per (config, trace) amortizes the fault-free
+simulation across a whole campaign; every faulty run replays the same
+trace with a :class:`FaultyArchState` attached and is classified:
+
+``detected`` — a microarchitectural checker stopped the run first;
+``sdc``      — the commit stream diverged from the golden record;
+``hang``     — the watchdog expired (2x golden cycles + slack) before
+               the full trace committed;
+``masked``   — the run committed the golden stream bit-for-bit.
+
+Detection latency is measured in cycles from fault activation to the
+checker firing; SDC corruption distance in commits from activation to
+the first divergent commit.  Both are exact because the golden
+comparison runs commit-by-commit inside the faulty run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.cpu.archstate import ArchState
+from repro.cpu.isa import Instr
+from repro.cpu.params import MachineConfig
+from repro.cpu.pipeline import Core
+from repro.inject.models import FaultSpec, FaultyArchState
+
+#: Watchdog: a faulty run may take this factor of the golden cycle count
+#: (plus slack) before it is declared hung.
+BUDGET_FACTOR = 2
+BUDGET_SLACK = 512
+
+
+@dataclass
+class GoldenRun:
+    """The fault-free reference execution of one (config, trace) pair."""
+
+    config: MachineConfig
+    trace: List[Instr]
+    n_instructions: int
+    log: List[tuple]
+    cycles: int
+    commits: int
+    digest: int
+
+
+@dataclass
+class InjectionResult:
+    """Classified outcome of one fault injection."""
+
+    outcome: str  # masked | sdc | detected | hang
+    cycles: int
+    commits: int
+    armed: bool
+    detect_reason: Optional[str] = None
+    detect_latency: Optional[int] = None  # cycles, detected only
+    commit_distance: Optional[int] = None  # commits, sdc only
+
+
+def run_golden(
+    config: MachineConfig, trace: List[Instr], n_instructions: int
+) -> GoldenRun:
+    """Run the fault-free reference and record its commit stream."""
+    arch = ArchState(config)
+    core = Core(config, iter(trace), arch=arch)
+    result = core.run(n_instructions)
+    if arch.commits < n_instructions:
+        raise RuntimeError(
+            f"golden run committed {arch.commits}/{n_instructions}"
+        )
+    return GoldenRun(
+        config=config,
+        trace=trace,
+        n_instructions=n_instructions,
+        log=arch.log,
+        cycles=result.cycles,
+        commits=arch.commits,
+        digest=arch.state_digest(),
+    )
+
+
+def run_with_fault(golden: GoldenRun, fault: FaultSpec) -> InjectionResult:
+    """Replay the golden trace with one fault and classify the outcome."""
+    arch = FaultyArchState(golden.config, fault, golden_log=golden.log)
+    core = Core(golden.config, iter(golden.trace), arch=arch)
+    budget = golden.cycles * BUDGET_FACTOR + BUDGET_SLACK
+    res = core.run(golden.n_instructions, max_cycles=budget)
+    if arch.outcome == "detected":
+        latency = None
+        if arch.detect_cycle is not None and arch.armed_cycle is not None:
+            latency = arch.detect_cycle - arch.armed_cycle
+        return InjectionResult(
+            outcome="detected",
+            cycles=res.cycles,
+            commits=arch.commits,
+            armed=arch.armed,
+            detect_reason=arch.detect_reason,
+            detect_latency=latency,
+        )
+    if arch.outcome == "sdc":
+        distance = None
+        if arch.first_divergence is not None:
+            distance = arch.first_divergence - arch.armed_commits
+        return InjectionResult(
+            outcome="sdc",
+            cycles=res.cycles,
+            commits=arch.commits,
+            armed=arch.armed,
+            commit_distance=distance,
+        )
+    if arch.commits < golden.n_instructions:
+        return InjectionResult(
+            outcome="hang",
+            cycles=res.cycles,
+            commits=arch.commits,
+            armed=arch.armed,
+        )
+    return InjectionResult(
+        outcome="masked",
+        cycles=res.cycles,
+        commits=arch.commits,
+        armed=arch.armed,
+    )

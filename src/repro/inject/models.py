@@ -1,0 +1,272 @@
+"""Fault models: transient bit flips and sticky stuck-ats.
+
+A :class:`FaultSpec` fixes everything about one injection — the site,
+the kind, the bit position, the stuck-at polarity, and the activation
+cycle — so a fault is replayable bit-for-bit in any process.
+
+:class:`FaultyArchState` applies the fault through the architectural
+state layer's hooks.  Transients activate exactly once at their cycle;
+stuck-ats force the bit every cycle from their cycle onward (cycle 0 for
+manufacturing defects — campaign sampling always uses 0 so a stuck-at
+models the paper's hard-defect scenario).  A fault whose site holds no
+occupant at activation (an empty queue slot, an unallocated register)
+simply does nothing — that run is masked, which is itself part of the
+taxonomy's derating.
+
+Fault semantics per site field:
+
+- ``rob.done`` — stuck-at-0 pins a ROB slot not-done (the occupant can
+  never commit → hang); forcing it set commits a never-executed
+  instruction → the ``commit.unwritten`` checker detects it.
+- ``rob.dest`` — corrupts the architectural destination tag → the value
+  retires to the wrong register → SDC.
+- ``iq.ready`` — forcing ready issues an instruction before its
+  operands arrive (stale register read → SDC); stuck-at-0 starves the
+  slot (hang when the occupant is at the commit head).
+- ``iq.src`` — flips a bit of the captured source register tag →
+  reads the wrong physical register → SDC or a ``tag.range`` detection.
+- ``lsq.addr`` — corrupts the block-address CAM field → wrong
+  store-to-load forwarding decision → SDC.
+- ``prf.data`` / ``rmap.tag`` / ``fetch.pc`` — direct state corruption;
+  rename-map corruption can also double-free a register (detected).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.cpu.archstate import ArchState
+from repro.cpu.isa import Instr
+from repro.cpu.params import MachineConfig
+from repro.cpu.queues import SegmentedIssueQueue
+from repro.inject.sites import Site, field_width
+from repro.runner.seeding import derive_seed
+
+KINDS = ("transient", "stuckat")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fully-determined fault injection."""
+
+    site: Site
+    kind: str  # "transient" | "stuckat"
+    bit: int
+    value: int  # stuck-at polarity (ignored for transients)
+    cycle: int  # activation cycle (transient: exactly; stuckat: onward)
+
+    @property
+    def label(self) -> str:
+        if self.kind == "transient":
+            return f"{self.site.label} flip b{self.bit}@{self.cycle}"
+        return f"{self.site.label} sa{self.value} b{self.bit}"
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "site": self.site.to_json(),
+            "kind": self.kind,
+            "bit": self.bit,
+            "value": self.value,
+            "cycle": self.cycle,
+        }
+
+    @classmethod
+    def from_json(cls, d: Dict[str, object]) -> "FaultSpec":
+        return cls(
+            Site.from_json(d["site"]), str(d["kind"]), int(d["bit"]),
+            int(d["value"]), int(d["cycle"]),
+        )
+
+
+def sample_faults(
+    sites: List[Site],
+    n: int,
+    seed: int,
+    model: str,
+    config: MachineConfig,
+    golden_cycles: int,
+) -> List[FaultSpec]:
+    """Draw ``n`` faults deterministically (one seed stream per index).
+
+    Sampling is stratified by structure (pick a structure uniformly,
+    then a site within it) so small structures with few sites — fetch
+    latches, rename maps — are exercised as often as the big register
+    files.  Transient activation cycles are drawn as a fraction of the
+    golden run length (the middle three quarters), so the same seed
+    lands faults at comparable execution phases on any configuration.
+    """
+    if model not in KINDS and model != "both":
+        raise ValueError(f"unknown fault model {model!r}")
+    by_struct: Dict[str, List[Site]] = {}
+    for s in sites:
+        by_struct.setdefault(s.struct, []).append(s)
+    structs = sorted(by_struct)
+    if not structs:
+        raise ValueError("no sites to sample from")
+    faults = []
+    for i in range(n):
+        rng = random.Random(derive_seed(seed, i, "inject.fault"))
+        pool = by_struct[structs[rng.randrange(len(structs))]]
+        site = pool[rng.randrange(len(pool))]
+        if model == "both":
+            kind = KINDS[rng.randrange(2)]
+        else:
+            kind = model
+        bit = rng.randrange(field_width(site, config))
+        value = rng.randrange(2)
+        if kind == "stuckat":
+            cycle = 0
+        else:
+            frac = 0.125 + 0.75 * rng.random()
+            cycle = max(1, int(frac * golden_cycles))
+        faults.append(FaultSpec(site, kind, bit, value, cycle))
+    return faults
+
+
+class FaultyArchState(ArchState):
+    """ArchState subclass that corrupts state per one :class:`FaultSpec`."""
+
+    def __init__(
+        self,
+        config: MachineConfig,
+        fault: FaultSpec,
+        golden_log: Optional[list] = None,
+    ) -> None:
+        super().__init__(config)
+        self.fault = fault
+        self.golden_log = golden_log
+        self.armed = False
+        self.armed_cycle: Optional[int] = None
+        self.armed_commits = 0
+        core = config.core
+        self._iq_half = {
+            "iq_int": core.iq_int_size // 2,
+            "iq_fp": core.iq_fp_size // 2,
+        }
+        self._rob_size = core.rob_size
+
+    # ------------------------------------------------------------------
+    def _active(self, cycle: int) -> bool:
+        if self.fault.kind == "transient":
+            return cycle == self.fault.cycle
+        return cycle >= self.fault.cycle
+
+    def _arm(self, cycle: int) -> None:
+        if not self.armed:
+            self.armed = True
+            self.armed_cycle = cycle
+            self.armed_commits = self.commits
+
+    def _bits(self, value: int) -> int:
+        f = self.fault
+        if f.kind == "transient":
+            return value ^ (1 << f.bit)
+        return (value & ~(1 << f.bit)) | (f.value << f.bit)
+
+    # ---- occupant resolution -----------------------------------------
+    def _rob_entry(self, core, slot: int):
+        rob = core.rob
+        if not rob:
+            return None
+        head = rob[0].instr.seq
+        seq = head + ((slot - head) % self._rob_size)
+        if seq >= head + len(rob):
+            return None
+        return core._rob_index.get(seq)
+
+    def _iq_entry(self, core, struct: str, slot: int):
+        queue = core.iq_int if struct == "iq_int" else core.iq_fp
+        half = self._iq_half[struct]
+        if isinstance(queue, SegmentedIssueQueue):
+            if queue.halves == 1:
+                if slot >= half:
+                    return None  # half 1 / latch slots are mapped out
+                seg, idx = queue._seg("old"), slot
+            elif slot < half:
+                seg, idx = queue._seg("old"), slot
+            elif slot < 2 * half:
+                seg, idx = queue._seg("new"), slot - half
+            else:
+                seg, idx = queue._seg("buf"), slot - 2 * half
+        else:
+            seg, idx = queue.entries, slot
+        return seg[idx] if 0 <= idx < len(seg) else None
+
+    # ---- hook overrides ----------------------------------------------
+    def begin_cycle(self, core, cycle: int) -> None:
+        if self.forced_ready:
+            self.forced_ready.clear()
+        if self.stopped or not self._active(cycle):
+            return
+        site = self.fault.site
+        struct = site.struct
+        if struct == "fetch":
+            return  # applied in on_fetch
+        self._arm(cycle)
+        if struct == "rob":
+            entry = self._rob_entry(core, site.index)
+            if entry is None:
+                return
+            if site.field == "done":
+                if self.fault.kind == "transient":
+                    entry.done = None if entry.done is not None else cycle
+                elif self.fault.value == 0:
+                    entry.done = None
+                elif entry.done is None or entry.done > cycle:
+                    entry.done = cycle
+            else:  # dest
+                info = self.info.get(entry.instr.seq)
+                if info is not None and info.a_d is not None:
+                    info.a_d = self._bits(info.a_d) & 0x1F
+        elif struct in ("iq_int", "iq_fp"):
+            e = self._iq_entry(core, struct, site.index)
+            if e is None:
+                return
+            if site.field == "ready":
+                forced_set = (
+                    self.fault.kind == "transient" or self.fault.value == 1
+                )
+                if forced_set:
+                    e.blocked_until = 0
+                    self.forced_ready.add(e.instr.seq)
+                else:
+                    e.blocked_until = max(e.blocked_until, cycle + 1)
+            else:  # src
+                info = self.info.get(e.instr.seq)
+                if info is not None and info.srcs:
+                    cls, p = info.srcs[0]
+                    if cls >= 0:
+                        info.srcs[0] = (cls, self._bits(p))
+        elif struct == "lsq":
+            entries = core.lsq.entries
+            if site.index < len(entries):
+                seq, is_store, blk = entries[site.index]
+                entries[site.index] = (seq, is_store, self._bits(blk))
+        elif struct in ("prf_int", "prf_fp"):
+            cls = 0 if struct == "prf_int" else 1
+            self.prf[cls][site.index] = self._bits(self.prf[cls][site.index])
+        elif struct in ("rmap_int", "rmap_fp"):
+            cls = 0 if struct == "rmap_int" else 1
+            cur = self.rmap[cls][site.index]
+            if cur is not None:
+                self.rmap[cls][site.index] = self._bits(cur)
+
+    def on_fetch(self, core, instr: Instr, way: int, cycle: int) -> Instr:
+        f = self.fault
+        if (
+            f.site.struct != "fetch"
+            or way != f.site.index
+            or self.stopped
+            or not self._active(cycle)
+        ):
+            return instr
+        self._arm(cycle)
+        pc = self._bits(instr.pc)
+        if pc == instr.pc:
+            return instr
+        return Instr(
+            instr.seq, instr.op, pc, instr.deps, instr.addr,
+            instr.taken, instr.target,
+        )

@@ -1,0 +1,144 @@
+"""Injection-site enumeration with ICI-block ownership.
+
+A :class:`Site` names one bit-addressable field of one physical storage
+slot in the core — a ROB entry's done bit, an issue-queue slot's source
+tag, a physical register's data word, a rename-map entry, a fetch way's
+PC latch.  Each site belongs to exactly one ICI block of the fault map
+(``<dimension>.<half>`` for the six halvable dimensions, ``chipkill``
+for structures whose loss kills the core: ROB, rename, the compaction
+latches).  That ownership is what lets a campaign be conditioned on the
+fault map: a fault sited in a mapped-out block must be masked.
+
+Physical slot identity follows the queues' compaction order, which the
+simulator keeps implicitly (entry lists are age-ordered):
+
+- segmented issue queue: old-segment entries occupy half-0 slots
+  ``[0, size/2)``, new-segment entries half-1 slots ``[size/2, size)``,
+  compaction-latch entries the buffer slots past the halves (chipkill);
+  a degraded queue (one half mapped out) packs into half 0;
+- LSQ: list position; slots ``[size/2, size)`` are half 1;
+- physical register files: low half belongs to backend group 0, high
+  half to group 1 (degraded backends allocate only from the low half);
+- fetch: ways ``[0, width/2)`` are frontend group 0, the rest group 1;
+- ROB slot = sequence number mod ``rob_size``.
+
+Site enumeration depends only on ``CoreParams`` (structure sizes do not
+shrink under degradation — the silicon is still there, just mapped out),
+so the same site universe is valid for every configuration of a core.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.cpu.archstate import preg_count, preg_tag_bits
+from repro.cpu.params import MachineConfig
+from repro.yieldmodel.configs import CoreCounts
+
+#: Chipkill block name (ROB, rename map, compaction latches).
+CHIPKILL = "chipkill"
+
+
+@dataclass(frozen=True)
+class Site:
+    """One injectable storage field: ``struct[index].field`` in ``block``."""
+
+    struct: str  # rob | iq_int | iq_fp | lsq | prf_int | prf_fp |
+    #              rmap_int | rmap_fp | fetch
+    index: int  # slot / register / way number
+    field: str  # done | dest | ready | src | addr | data | tag | pc
+    block: str  # owning ICI block, e.g. "iq_int.1", "chipkill"
+
+    @property
+    def label(self) -> str:
+        return f"{self.struct}[{self.index}].{self.field}"
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "struct": self.struct,
+            "index": self.index,
+            "field": self.field,
+            "block": self.block,
+        }
+
+    @classmethod
+    def from_json(cls, d: Dict[str, object]) -> "Site":
+        return cls(
+            str(d["struct"]), int(d["index"]), str(d["field"]),
+            str(d["block"]),
+        )
+
+
+def field_width(site: Site, config: MachineConfig) -> int:
+    """Bit width of a site's field (the fault model flips within it)."""
+    tag = preg_tag_bits(config.core)
+    return {
+        "done": 1,
+        "ready": 1,
+        "dest": 5,  # architectural destination tag
+        "src": tag,
+        "tag": tag,
+        "addr": 16,  # LSQ block-address CAM field
+        "data": 64,
+        "pc": 16,
+    }[site.field]
+
+
+def enumerate_sites(config: MachineConfig) -> List[Site]:
+    """All injectable sites of a core, in a canonical deterministic order."""
+    core = config.core
+    sites: List[Site] = []
+    for i in range(core.rob_size):
+        sites.append(Site("rob", i, "done", CHIPKILL))
+        sites.append(Site("rob", i, "dest", CHIPKILL))
+    for struct, size in (
+        ("iq_int", core.iq_int_size), ("iq_fp", core.iq_fp_size)
+    ):
+        half = size // 2
+        n_slots = size + (config.compaction_buffer if config.rescue else 0)
+        for i in range(n_slots):
+            if i >= size:
+                block = CHIPKILL  # the temporary compaction latch
+            else:
+                block = f"{struct}.{0 if i < half else 1}"
+            sites.append(Site(struct, i, "ready", block))
+            sites.append(Site(struct, i, "src", block))
+    lhalf = core.lsq_size // 2
+    for i in range(core.lsq_size):
+        sites.append(Site("lsq", i, "addr", f"lsq.{0 if i < lhalf else 1}"))
+    n_pregs = preg_count(core)
+    phalf = n_pregs // 2
+    for struct, dim in (("prf_int", "int_backend"), ("prf_fp", "fp_backend")):
+        for i in range(n_pregs):
+            sites.append(
+                Site(struct, i, "data", f"{dim}.{0 if i < phalf else 1}")
+            )
+    for struct in ("rmap_int", "rmap_fp"):
+        for i in range(32):
+            sites.append(Site(struct, i, "tag", CHIPKILL))
+    whalf = core.width // 2
+    for way in range(core.width):
+        sites.append(
+            Site("fetch", way, "pc", f"frontend.{0 if way < whalf else 1}")
+        )
+    return sites
+
+
+def mapped_out_blocks(counts: CoreCounts) -> Tuple[str, ...]:
+    """ICI blocks the fault map has isolated (half 1 of degraded dims)."""
+    out = []
+    for dim in (
+        "frontend", "int_backend", "fp_backend", "iq_int", "iq_fp", "lsq"
+    ):
+        if getattr(counts, dim) == 1:
+            out.append(f"{dim}.1")
+    return tuple(out)
+
+
+def sites_in_blocks(
+    sites: List[Site], blocks: Tuple[str, ...]
+) -> List[Site]:
+    """Subset of ``sites`` owned by the given blocks (order preserved)."""
+    wanted = set(blocks)
+    return [s for s in sites if s.block in wanted]

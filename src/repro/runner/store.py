@@ -43,8 +43,17 @@ def config_hash(payload: Mapping[str, Any]) -> str:
 
 
 def default_cache_root() -> Path:
-    """The checkpoint directory (``REPRO_CACHE_DIR`` or ``.repro_cache``)."""
-    return Path(os.environ.get("REPRO_CACHE_DIR", ".repro_cache"))
+    """The cache directory (``REPRO_CACHE_DIR`` or ``.repro_cache``).
+
+    Shared by every on-disk cache in the repo (shard checkpoints, the
+    degraded-IPC memo).  ``RESCUE_CACHE_DIR`` is honoured as a
+    deprecated fallback for pre-unification environments; set
+    ``REPRO_CACHE_DIR`` instead.
+    """
+    root = os.environ.get("REPRO_CACHE_DIR")
+    if root is None:
+        root = os.environ.get("RESCUE_CACHE_DIR")  # deprecated
+    return Path(root if root is not None else ".repro_cache")
 
 
 class CheckpointStore:

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import RUN_CAMPAIGNS, build_parser, main
 
 
 class TestParser:
@@ -17,6 +17,33 @@ class TestParser:
     def test_yat_choices(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["yat", "--stagnation", "45"])
+
+    def test_run_campaigns_roundtrip(self, capsys):
+        # Every registered campaign parses as a positional choice and is
+        # documented in `repro run --help`.
+        parser = build_parser()
+        assert set(RUN_CAMPAIGNS) == {
+            "isolation", "montecarlo", "ipc", "inject"
+        }
+        for name in RUN_CAMPAIGNS:
+            args = parser.parse_args(["run", name])
+            assert args.campaign == name
+        with pytest.raises(SystemExit):
+            parser.parse_args(["run", "--help"])
+        help_text = capsys.readouterr().out
+        for name in RUN_CAMPAIGNS:
+            assert name in help_text
+        with pytest.raises(SystemExit):
+            parser.parse_args(["run", "nonesuch"])
+
+    def test_inject_defaults(self):
+        args = build_parser().parse_args(["inject"])
+        assert args.sites == 64
+        assert args.model == "both"
+        assert args.config == "full"
+        assert args.blocks == "all"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["inject", "--model", "bogus"])
 
 
 class TestCommands:
@@ -53,6 +80,24 @@ class TestCommands:
         assert "ICI holds" in capsys.readouterr().out
         assert main(["lint", "--tiny", "--baseline"]) == 1
         assert "violated" in capsys.readouterr().out
+
+    def test_inject_command_masking(self, capsys):
+        code = main([
+            "inject", "--sites", "6", "--instructions", "600",
+            "--config", "degraded", "--blocks", "mapped-out",
+            "--no-checkpoint",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "masking: PASS" in out
+        assert "masked" in out
+
+    def test_run_inject_dispatch(self, capsys):
+        code = main([
+            "run", "inject", "--faults", "4", "--no-checkpoint",
+        ])
+        assert code == 0
+        assert "injections: 4" in capsys.readouterr().out
 
     def test_verilog_command(self, capsys, tmp_path):
         out_file = tmp_path / "core.v"

@@ -46,6 +46,32 @@ class TestIpcCache:
         key = IpcCache.key("gzip", cfg, 800, 12345, 400)
         assert cache2._data[key] == v1
 
+    def test_default_path_uses_repro_cache_dir(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "unified"))
+        monkeypatch.delenv("RESCUE_CACHE_DIR", raising=False)
+        cache = IpcCache()
+        assert cache.path == tmp_path / "unified" / "ipc_cache.json"
+
+    def test_legacy_env_var_still_honoured(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        monkeypatch.setenv("RESCUE_CACHE_DIR", str(tmp_path / "legacy"))
+        cache = IpcCache()
+        assert cache.path == tmp_path / "legacy" / "ipc_cache.json"
+
+    def test_unified_var_wins_over_legacy(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "unified"))
+        monkeypatch.setenv("RESCUE_CACHE_DIR", str(tmp_path / "legacy"))
+        cache = IpcCache()
+        assert cache.path == tmp_path / "unified" / "ipc_cache.json"
+
+    def test_default_matches_runner_store_root(self, monkeypatch):
+        from repro.runner.store import default_cache_root
+
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        monkeypatch.delenv("RESCUE_CACHE_DIR", raising=False)
+        assert IpcCache().path.parent == default_cache_root()
+        assert default_cache_root().name == ".repro_cache"
+
     def test_simulate_config_returns_positive_ipc(self):
         ipc = simulate_config(
             "eon", MachineConfig(rescue=True),

@@ -1,0 +1,316 @@
+"""Tests for the fault-injection subsystem (repro.inject).
+
+Covers the site enumerator's ICI-block ownership, the architectural
+value layer's observation contract and timing independence, pinned
+outcomes for handcrafted faults (one per taxonomy class), the masking
+validation, and the campaign's worker/chunk/resume invariance.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cpu import ArchState, Core, MachineConfig
+from repro.cpu.archstate import DEP_WINDOW, preg_count, preg_tag_bits
+from repro.cpu.degraded import degraded_params
+from repro.inject import (
+    FaultSpec,
+    InjectionSpec,
+    InjectionStats,
+    Site,
+    enumerate_sites,
+    mapped_out_blocks,
+    masking_validation,
+    prepare_injection,
+    run_golden,
+    run_injection,
+    run_with_fault,
+    sample_faults,
+)
+from repro.inject.campaign import DIMENSIONS
+from repro.inject.sites import field_width, sites_in_blocks
+from repro.telemetry import TELEMETRY
+from repro.workloads.generator import generate_trace
+from repro.workloads.profiles import profile
+from repro.yieldmodel.configs import CoreCounts
+
+FULL = MachineConfig(rescue=True)
+DEGRADED = degraded_params(FULL, CoreCounts(1, 1, 1, 1, 1, 1))
+SHADOW = mapped_out_blocks(CoreCounts(1, 1, 1, 1, 1, 1))
+
+
+def _trace(n=800, bench="gzip", seed=7):
+    return generate_trace(profile(bench), n, seed=seed)
+
+
+# ----------------------------------------------------------------------
+# Site enumeration
+# ----------------------------------------------------------------------
+
+class TestSites:
+    def test_block_ownership(self):
+        sites = {(s.struct, s.index, s.field): s for s in
+                 enumerate_sites(FULL)}
+        assert sites[("rob", 0, "done")].block == "chipkill"
+        assert sites[("iq_int", 0, "ready")].block == "iq_int.0"
+        assert sites[("iq_int", 20, "ready")].block == "iq_int.1"
+        assert sites[("iq_int", 36, "ready")].block == "chipkill"  # latch
+        assert sites[("iq_fp", 17, "src")].block == "iq_fp.0"
+        assert sites[("lsq", 15, "addr")].block == "lsq.0"
+        assert sites[("lsq", 16, "addr")].block == "lsq.1"
+        assert sites[("prf_int", 0, "data")].block == "int_backend.0"
+        n = preg_count(FULL.core)
+        assert sites[("prf_fp", n - 1, "data")].block == "fp_backend.1"
+        assert sites[("rmap_int", 5, "tag")].block == "chipkill"
+        assert sites[("fetch", 0, "pc")].block == "frontend.0"
+        assert sites[("fetch", 3, "pc")].block == "frontend.1"
+
+    def test_site_universe_is_config_independent(self):
+        # Degradation maps blocks out; it does not shrink the silicon.
+        assert enumerate_sites(FULL) == enumerate_sites(DEGRADED)
+
+    def test_mapped_out_blocks(self):
+        assert SHADOW == (
+            "frontend.1", "int_backend.1", "fp_backend.1",
+            "iq_int.1", "iq_fp.1", "lsq.1",
+        )
+        assert mapped_out_blocks(CoreCounts(2, 2, 2, 2, 2, 2)) == ()
+        assert mapped_out_blocks(CoreCounts(frontend=1)) == ("frontend.1",)
+
+    def test_sites_in_blocks_filters(self):
+        sites = enumerate_sites(FULL)
+        shadow = sites_in_blocks(sites, SHADOW)
+        assert shadow and all(s.block in SHADOW for s in shadow)
+        assert not any(s.block == "chipkill" for s in shadow)
+
+    def test_field_widths(self):
+        tag = preg_tag_bits(FULL.core)
+        assert field_width(Site("rob", 0, "done", "chipkill"), FULL) == 1
+        assert field_width(Site("rob", 0, "dest", "chipkill"), FULL) == 5
+        assert field_width(Site("rmap_int", 0, "tag", "chipkill"),
+                           FULL) == tag
+        assert field_width(
+            Site("prf_int", 0, "data", "int_backend.0"), FULL
+        ) == 64
+
+    def test_json_roundtrip(self):
+        s = Site("iq_fp", 19, "src", "iq_fp.1")
+        assert Site.from_json(s.to_json()) == s
+        f = FaultSpec(s, "stuckat", 3, 1, 0)
+        assert FaultSpec.from_json(f.to_json()) == f
+
+
+# ----------------------------------------------------------------------
+# The architectural value layer
+# ----------------------------------------------------------------------
+
+class TestArchState:
+    def test_observation_only(self):
+        # Attaching an ArchState must not perturb timing at all.
+        trace = _trace(1200)
+        plain = Core(FULL, iter(trace)).run(1200)
+        observed = Core(FULL, iter(trace), arch=ArchState(FULL)).run(1200)
+        assert plain == observed
+
+    def test_golden_determinism(self):
+        trace = _trace(1000)
+        a = run_golden(FULL, trace, 1000)
+        b = run_golden(FULL, trace, 1000)
+        assert a.log == b.log
+        assert a.cycles == b.cycles
+        assert a.digest == b.digest
+
+    def test_committed_values_are_timing_independent(self):
+        # The commit stream must be a pure function of the trace: the
+        # same trace on full / fully-degraded / baseline machines (all
+        # wildly different timings) commits identical values, which is
+        # what makes timing-only fault perturbations classify masked.
+        trace = _trace(1200, bench="vpr", seed=3)
+        logs = []
+        for cfg in (FULL, DEGRADED, MachineConfig(rescue=False)):
+            arch = ArchState(cfg)
+            Core(cfg, iter(trace), arch=arch).run(1200)
+            logs.append(arch.log)
+        assert logs[0] == logs[1] == logs[2]
+        assert len(logs[0]) == 1200
+
+    def test_snapshot_api(self):
+        trace = _trace(600)
+        arch = ArchState(FULL)
+        Core(FULL, iter(trace), arch=arch).run(600)
+        snap = arch.snapshot()
+        assert snap["commits"] == 600
+        assert len(snap["regs_int"]) == 32
+        assert any(v != 0 for v in snap["regs_int"])
+        arch2 = ArchState(FULL)
+        Core(FULL, iter(trace), arch=arch2).run(600)
+        assert arch2.snapshot() == snap
+        assert arch2.state_digest() == arch.state_digest()
+
+    def test_producer_records_kept_for_dep_window(self):
+        trace = _trace(600)
+        arch = ArchState(FULL)
+        Core(FULL, iter(trace), arch=arch).run(600)
+        # Records older than the dependence window are cleaned up.
+        assert all(seq > 600 - 2 * DEP_WINDOW - 8 for seq in arch.info)
+
+
+# ----------------------------------------------------------------------
+# Outcome taxonomy: one pinned fault per class
+# ----------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def golden():
+    return run_golden(FULL, _trace(800), 800)
+
+
+class TestOutcomes:
+    def test_rob_done_stuck0_hangs(self, golden):
+        # ROB slot 0 pinned not-done: seq 0 can never commit.
+        f = FaultSpec(Site("rob", 0, "done", "chipkill"), "stuckat", 0, 0, 0)
+        r = run_with_fault(golden, f)
+        assert r.outcome == "hang"
+        assert r.commits == 0
+
+    def test_rob_done_stuck1_detected(self, golden):
+        # Forcing done commits a never-executed instruction: the
+        # commit.unwritten checker fires.
+        f = FaultSpec(Site("rob", 0, "done", "chipkill"), "stuckat", 0, 1, 0)
+        r = run_with_fault(golden, f)
+        assert r.outcome == "detected"
+        assert r.detect_reason == "commit.unwritten"
+        assert r.detect_latency is not None and r.detect_latency >= 0
+
+    def test_prf_stuckat_on_live_register_is_sdc(self, golden):
+        # Register 0 is the first integer allocation; stick a data bit
+        # to the opposite of its golden value so the first commit that
+        # reads it diverges.
+        first_value = next(
+            rec[2] for rec in golden.log if rec[0] == 0
+        )
+        wrong = 1 - (first_value & 1)
+        f = FaultSpec(
+            Site("prf_int", 0, "data", "int_backend.0"),
+            "stuckat", 0, wrong, 0,
+        )
+        r = run_with_fault(golden, f)
+        assert r.outcome == "sdc"
+        assert r.commit_distance is not None and r.commit_distance >= 0
+
+    def test_transient_on_unallocated_register_is_masked(self, golden):
+        # The highest physical register is only reached after ~1200
+        # same-class allocations; an 800-instruction trace never touches
+        # it, so the flip lands in dead state.
+        n = preg_count(FULL.core)
+        f = FaultSpec(
+            Site("prf_int", n - 1, "data", "int_backend.1"),
+            "transient", 13, 0, golden.cycles // 2,
+        )
+        r = run_with_fault(golden, f)
+        assert r.outcome == "masked"
+        assert r.commits == golden.commits
+
+    def test_fetch_pc_stuckat_is_sdc(self, golden):
+        # A PC corruption changes both the committed value mix and the
+        # architectural destination of every instruction through way 0.
+        f = FaultSpec(Site("fetch", 0, "pc", "frontend.0"),
+                      "stuckat", 4, 1, 0)
+        r = run_with_fault(golden, f)
+        assert r.outcome == "sdc"
+
+    def test_faulty_run_is_deterministic(self, golden):
+        f = FaultSpec(Site("fetch", 0, "pc", "frontend.0"),
+                      "stuckat", 4, 1, 0)
+        assert run_with_fault(golden, f) == run_with_fault(golden, f)
+
+
+# ----------------------------------------------------------------------
+# Campaigns
+# ----------------------------------------------------------------------
+
+SPEC = InjectionSpec(n_instructions=800, n_faults=16, chunk_size=4)
+
+
+class TestCampaign:
+    def test_sample_faults_deterministic(self):
+        sites = enumerate_sites(FULL)
+        a = sample_faults(sites, 12, 0, "both", FULL, 2000)
+        b = sample_faults(sites, 12, 0, "both", FULL, 2000)
+        assert a == b
+        c = sample_faults(sites, 12, 1, "both", FULL, 2000)
+        assert a != c
+
+    def test_worker_and_chunk_invariance(self):
+        base = run_injection(SPEC, workers=1, checkpoint=False)
+        assert base.n == 16
+        two = run_injection(SPEC, workers=2, checkpoint=False)
+        assert base == two
+        rechunked = run_injection(
+            InjectionSpec(n_instructions=800, n_faults=16, chunk_size=7),
+            workers=1, checkpoint=False,
+        )
+        assert base == rechunked
+
+    def test_checkpoint_resume_identical(self, tmp_path):
+        fresh = run_injection(SPEC, workers=1, cache_root=str(tmp_path))
+        events = []
+        resumed = run_injection(
+            SPEC, workers=2, cache_root=str(tmp_path), resume=True,
+            progress=events.append,
+        )
+        assert fresh == resumed
+        assert events and all(ev.cached for ev in events)
+
+    def test_stats_merge_and_json(self):
+        stats = run_injection(SPEC, workers=1, checkpoint=False)
+        assert stats == InjectionStats.from_json(stats.to_json())
+        empty = InjectionStats()
+        assert empty.merge(stats) == stats
+        assert stats.n == sum(stats.outcomes.values())
+        assert set(stats.outcomes) == {"masked", "sdc", "detected", "hang"}
+        assert all(r["outcome"] in stats.outcomes for r in stats.records)
+        assert stats.summary()
+
+    def test_masking_validation(self):
+        val = masking_validation(
+            InjectionSpec(n_instructions=800, n_faults=16, chunk_size=4),
+            workers=1, checkpoint=False,
+        )
+        deg, full = val["degraded"], val["full"]
+        # The headline property: every fault in a mapped-out block is
+        # masked on the degraded core...
+        assert deg.outcomes["masked"] == deg.n == 16
+        assert all(r["block"] in SHADOW for r in deg.records)
+        # ...while the same sites are live on the full core.
+        assert full.n == 16
+        assert full.outcomes["masked"] < full.n
+
+    def test_telemetry_counters(self):
+        TELEMETRY.reset()
+        TELEMETRY.enable()
+        try:
+            with TELEMETRY.collect() as metrics:
+                stats = run_injection(SPEC, workers=1, checkpoint=False)
+        finally:
+            TELEMETRY.disable()
+        counters = metrics.counters
+        assert counters["inject.runs"] == 16
+        assert sum(
+            counters.get(f"inject.outcome.{k}", 0)
+            for k in ("masked", "sdc", "detected", "hang")
+        ) == 16
+        assert counters["inject.outcome.masked"] == stats.outcomes["masked"]
+        assert counters["inject.faulty_cycles"] > 0
+
+    @pytest.mark.slow
+    def test_full_campaign_taxonomy_coverage(self):
+        # A larger stuck-at sample on the full core exercises several
+        # taxonomy classes at once (the tier-2 version of the above).
+        spec = InjectionSpec(
+            n_instructions=2000, n_faults=96, model="stuckat",
+            chunk_size=8,
+        )
+        stats = run_injection(spec, workers=2, checkpoint=False)
+        assert stats.n == 96
+        assert stats.outcomes["sdc"] > 0
+        assert stats.outcomes["masked"] > 0
