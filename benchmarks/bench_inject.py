@@ -6,8 +6,13 @@ faults sampled only from mapped-out ICI blocks must classify 100%
 ``masked`` on the fully-degraded core, while the identical fault sites
 on the full core (where those blocks are live) produce a nonzero
 SDC/hang/detection rate.  Also verifies that campaign results are
-bit-identical between serial and multi-worker execution and across a
-checkpoint/resume cycle.
+bit-identical between serial and multi-worker execution, across a
+checkpoint/resume cycle, and between checkpointed suffix replay
+(``fork=True``, at two different checkpoint intervals) and the
+from-scratch reference path — and measures the suffix-replay win:
+total simulated cycles forked vs from-scratch must drop by at least
+3x on the masking campaign (recorded with wall-clock speedup in the
+JSON).
 
 Results land in ``BENCH_inject.json`` at the repo root.
 
@@ -85,6 +90,105 @@ def _assert_invariance(spec, workers: int) -> None:
         raise AssertionError("checkpoint/resume changed the result")
 
 
+def _masking_specs(spec):
+    """The masking-validation spec pair (degraded + full core)."""
+    from dataclasses import replace
+
+    from repro.inject import mapped_out_blocks
+    from repro.inject.campaign import DIMENSIONS
+    from repro.yieldmodel.configs import CoreCounts
+
+    shadow = mapped_out_blocks(CoreCounts(**{d: 1 for d in DIMENSIONS}))
+    return {
+        "degraded": replace(spec, counts=(1,) * 6, blocks=shadow),
+        "full": replace(spec, counts=(2,) * 6, blocks=shadow),
+    }
+
+
+def _assert_fork_equivalence(spec) -> None:
+    """Suffix replay must reproduce from-scratch stats bit-exactly on
+    the masking-validation fault list, at any checkpoint interval."""
+    from dataclasses import replace
+
+    from repro.inject import run_injection
+
+    for name, s in _masking_specs(spec).items():
+        scratch = run_injection(
+            replace(s, fork=False), workers=1, checkpoint=False
+        )
+        for interval in (s.checkpoint_interval, 97):
+            forked = run_injection(
+                replace(s, fork=True, checkpoint_interval=interval),
+                workers=1, checkpoint=False,
+            )
+            if forked != scratch:
+                raise AssertionError(
+                    f"forked InjectionStats (checkpoint interval "
+                    f"{interval}) differ from from-scratch on the "
+                    f"{name} core"
+                )
+
+
+def _measure_suffix_replay(spec, workers: int) -> dict:
+    """Run the masking campaign forked and from-scratch under telemetry
+    and compare total simulated cycles and wall clock."""
+    from dataclasses import replace
+
+    from repro.inject import run_injection
+    from repro.telemetry import TELEMETRY
+
+    specs = _masking_specs(spec)
+    TELEMETRY.enable()
+    try:
+        with TELEMETRY.collect() as m_fork:
+            t0 = time.perf_counter()
+            for s in specs.values():
+                run_injection(s, workers=workers, checkpoint=False)
+            fork_wall = time.perf_counter() - t0
+        with TELEMETRY.collect() as m_scratch:
+            t0 = time.perf_counter()
+            for s in specs.values():
+                run_injection(
+                    replace(s, fork=False), workers=workers,
+                    checkpoint=False,
+                )
+            scratch_wall = time.perf_counter() - t0
+    finally:
+        TELEMETRY.disable()
+        TELEMETRY.reset()
+
+    forked = m_fork.counters.get("inject.sim_cycles", 0)
+    scratch = m_scratch.counters.get("inject.sim_cycles", 0)
+    if not forked or not scratch:
+        raise AssertionError("inject.sim_cycles telemetry missing")
+    ratio = scratch / forked
+    if ratio < 3.0:
+        raise AssertionError(
+            f"suffix replay simulated-cycle reduction {ratio:.2f}x "
+            f"is below the 3x gate"
+        )
+    return {
+        "checkpoint_interval": spec.checkpoint_interval,
+        "cycles_simulated": {
+            "forked": forked,
+            "scratch": scratch,
+            "ratio": round(ratio, 2),
+        },
+        "wall_seconds": {
+            "forked": round(fork_wall, 4),
+            "scratch": round(scratch_wall, 4),
+            "speedup": round(scratch_wall / fork_wall, 2),
+        },
+        "fork_restores": m_fork.counters.get("inject.fork_restores", 0),
+        "early_exits": m_fork.counters.get("inject.early_exits", 0),
+        "cycles_saved": m_fork.counters.get("inject.cycles_saved", 0),
+        "note": (
+            "faulty-run cycles only; the golden run is simulated once "
+            "per configuration in both modes"
+        ),
+    }
+
+
 def measure(n_faults: int = 128, workers: int = 4, seed: int = 0,
             n_instructions: int = 2000) -> dict:
     """Run the masking validation and record outcome distributions."""
@@ -99,6 +203,8 @@ def measure(n_faults: int = 128, workers: int = 4, seed: int = 0,
     val, seconds = _masking(spec, workers)
     _assert_masking(val)
     _assert_invariance(spec, workers)
+    _assert_fork_equivalence(spec)
+    suffix = _measure_suffix_replay(spec, workers)
 
     deg, full = val["degraded"], val["full"]
     host_cpus = os.cpu_count() or 1
@@ -119,7 +225,11 @@ def measure(n_faults: int = 128, workers: int = 4, seed: int = 0,
         "degraded_masked_rate": deg.rate("masked"),
         "full_sdc_rate": round(full.rate("sdc"), 4),
         "masking": "100% masked in mapped-out blocks",
-        "agreement": "bit-exact across workers/chunking/resume",
+        "agreement": (
+            "bit-exact across workers/chunking/resume and fork "
+            "vs from-scratch"
+        ),
+        "suffix_replay": suffix,
     }
 
 
@@ -131,12 +241,17 @@ def check(workers: int = 2) -> None:
     val, _ = _masking(spec, workers)
     _assert_masking(val)
     _assert_invariance(spec, workers)
+    _assert_fork_equivalence(spec)
+    suffix = _measure_suffix_replay(spec, workers=1)
     deg, full = val["degraded"], val["full"]
     print(
         "inject check OK: "
         f"degraded {deg.outcomes['masked']}/{deg.n} masked, "
         f"full core outcomes {full.outcomes}, "
-        f"{workers}-worker/resume runs bit-identical to serial"
+        f"{workers}-worker/resume runs bit-identical to serial, "
+        f"fork == scratch at 2 checkpoint intervals, "
+        f"{suffix['cycles_simulated']['ratio']}x fewer simulated cycles "
+        f"({suffix['early_exits']} early exits)"
     )
 
 

@@ -264,6 +264,30 @@ def _cmd_inject(args: argparse.Namespace) -> int:
         blocks = mapped_out_blocks(
             CoreCounts(**{d: 1 for d in DIMENSIONS})
         )
+    if args.profile:
+        # Profile-only pass: golden run + per-site residency report.
+        from repro.cpu.degraded import degraded_params
+        from repro.cpu.params import MachineConfig
+        from repro.inject.harness import run_golden
+        from repro.workloads.generator import generate_trace
+        from repro.workloads.profiles import profile
+
+        config = degraded_params(
+            MachineConfig(rescue=True),
+            CoreCounts(**dict(zip(DIMENSIONS, counts))),
+        )
+        trace = generate_trace(
+            profile(args.benchmark), args.instructions,
+            seed=args.trace_seed,
+        )
+        golden = run_golden(
+            config, trace, args.instructions,
+            profile_stride=args.profile_stride,
+        )
+        print(f"config: {args.config}  benchmark: {args.benchmark}  "
+              f"golden cycles: {golden.cycles}")
+        print(golden.profile.report())
+        return 0
     spec = InjectionSpec(
         benchmark=args.benchmark,
         n_instructions=args.instructions,
@@ -274,6 +298,12 @@ def _cmd_inject(args: argparse.Namespace) -> int:
         seed=args.seed,
         blocks=blocks,
         chunk_size=args.chunk_size,
+        checkpoint_interval=args.checkpoint_interval,
+        fork=not args.no_fork,
+        keep_records=not args.summary_only,
+        exemplar_cap=args.exemplars,
+        sampling=args.sampling,
+        profile_stride=args.profile_stride,
     )
     stats = run_injection(
         spec,
@@ -403,6 +433,30 @@ def build_parser() -> argparse.ArgumentParser:
                    help="worker processes (default 1 = in-process)")
     p.add_argument("--chunk-size", type=int, default=8,
                    help="injections per shard (default 8)")
+    p.add_argument("--checkpoint-interval", type=int, default=128,
+                   help="golden checkpoint spacing in cycles for suffix "
+                        "replay (default 128)")
+    p.add_argument("--no-fork", action="store_true",
+                   help="use the from-scratch reference path instead of "
+                        "checkpointed suffix replay (same classifications, "
+                        "more simulated cycles)")
+    p.add_argument("--summary-only", action="store_true",
+                   help="keep outcome counts + bounded exemplar records "
+                        "instead of every per-fault record")
+    p.add_argument("--exemplars", type=int, default=8,
+                   help="exemplar records kept per outcome with "
+                        "--summary-only (default 8)")
+    p.add_argument("--sampling", choices=("uniform", "weighted"),
+                   default="uniform",
+                   help="fault-site sampling within a structure: uniform "
+                        "(default) or residency-weighted from the golden "
+                        "profile")
+    p.add_argument("--profile", action="store_true",
+                   help="profile per-site occupancy during the golden run, "
+                        "print the residency report, and exit")
+    p.add_argument("--profile-stride", type=int, default=16,
+                   help="cycles between occupancy samples for --profile / "
+                        "weighted sampling (default 16)")
     p.add_argument("--resume", action="store_true",
                    help="reuse completed shards from the checkpoint store")
     p.add_argument("--no-checkpoint", action="store_true",

@@ -307,3 +307,54 @@ class ArchState:
             *(v for kv in sorted(self.mem.items()) for v in kv),
             self.commits,
         )
+
+    # ---- checkpoint capture / load -----------------------------------
+    def capture(self) -> Dict[str, object]:
+        """Full plain-data copy of the value layer for checkpointing.
+
+        Everything a resumed run needs is here: register files, free
+        lists (FIFO order matters), rename maps, committed registers and
+        memory image, the live rename/value records, the retirement
+        window, the commit log, and the commit count.  ``golden_log`` and
+        the detection fields are deliberately excluded — they belong to
+        the harness driving a particular run, not to the machine state.
+        """
+        return {
+            "prf": (tuple(self.prf[0]), tuple(self.prf[1])),
+            "free": (tuple(self.free[0]), tuple(self.free[1])),
+            "rmap": (tuple(self.rmap[0]), tuple(self.rmap[1])),
+            "arch_regs": (
+                tuple(self.arch_regs[0]), tuple(self.arch_regs[1])
+            ),
+            "mem": dict(self.mem),
+            "info": {
+                seq: (
+                    i.preg, i.cls, i.a_d, i.prev, tuple(i.srcs),
+                    i.written, i.const,
+                )
+                for seq, i in self.info.items()
+            },
+            "retired": tuple(self._retired),
+            "log": tuple(self.log),
+            "commits": self.commits,
+        }
+
+    def load(self, snap: Dict[str, object]) -> None:
+        """Load a :meth:`capture` back.  ``forced_ready`` is cleared in
+        place (the core aliases the set), never reassigned."""
+        self.prf = [list(snap["prf"][0]), list(snap["prf"][1])]
+        self.free = [deque(snap["free"][0]), deque(snap["free"][1])]
+        self.free_set = [set(self.free[0]), set(self.free[1])]
+        self.rmap = [list(snap["rmap"][0]), list(snap["rmap"][1])]
+        self.arch_regs = [
+            list(snap["arch_regs"][0]), list(snap["arch_regs"][1])
+        ]
+        self.mem = dict(snap["mem"])
+        self.info = {
+            seq: _Info(t[0], t[1], t[2], t[3], list(t[4]), t[5], t[6])
+            for seq, t in snap["info"].items()
+        }
+        self._retired = deque(snap["retired"])
+        self.log = list(snap["log"])
+        self.commits = snap["commits"]
+        self.forced_ready.clear()

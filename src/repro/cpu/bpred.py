@@ -170,3 +170,32 @@ class FrontendPredictor:
         if not self.lookups:
             return 1.0
         return 1.0 - self.mispredicts / self.lookups
+
+    # ---- snapshot / restore ------------------------------------------
+    def snapshot(self) -> dict:
+        """Plain-data copy of all predictor state (tables, history, RAS).
+
+        The counters (``lookups``/``mispredicts``) ride along so a
+        restored run reproduces the uninterrupted run's statistics too.
+        """
+        return {
+            "bimodal": tuple(self.hybrid.bimodal),
+            "gshare": tuple(self.hybrid.gshare),
+            "chooser": tuple(self.hybrid.chooser),
+            "history": self.hybrid.history,
+            "btb": tuple(tuple(ways) for ways in self.btb.table),
+            "ras": tuple(self.ras.stack),
+            "lookups": self.lookups,
+            "mispredicts": self.mispredicts,
+        }
+
+    def restore(self, snap: dict) -> None:
+        """Load a :meth:`snapshot` back into the live structures."""
+        self.hybrid.bimodal = list(snap["bimodal"])
+        self.hybrid.gshare = list(snap["gshare"])
+        self.hybrid.chooser = list(snap["chooser"])
+        self.hybrid.history = snap["history"]
+        self.btb.table = [list(ways) for ways in snap["btb"]]
+        self.ras.stack = list(snap["ras"])
+        self.lookups = snap["lookups"]
+        self.mispredicts = snap["mispredicts"]

@@ -68,6 +68,20 @@ class Cache:
         total = self.hits + self.misses
         return self.misses / total if total else 0.0
 
+    def snapshot(self) -> dict:
+        """Plain-data copy: per-set LRU tag order plus demand counters."""
+        return {
+            "tags": tuple(tuple(ways) for ways in self.tags),
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+    def restore(self, snap: dict) -> None:
+        """Load a :meth:`snapshot` back (LRU order preserved)."""
+        self.tags = [list(ways) for ways in snap["tags"]]
+        self.hits = snap["hits"]
+        self.misses = snap["misses"]
+
 
 class MemoryHierarchy:
     """L1D → L2 → memory; returns load-to-use latency per access."""
@@ -111,3 +125,12 @@ class MemoryHierarchy:
             "l1d_miss_rate": self.l1d.miss_rate,
             "l2_miss_rate": self.l2.miss_rate,
         }
+
+    def snapshot(self) -> dict:
+        """Plain-data copy of both cache levels."""
+        return {"l1d": self.l1d.snapshot(), "l2": self.l2.snapshot()}
+
+    def restore(self, snap: dict) -> None:
+        """Load a :meth:`snapshot` back into both levels."""
+        self.l1d.restore(snap["l1d"])
+        self.l2.restore(snap["l2"])

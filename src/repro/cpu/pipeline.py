@@ -126,6 +126,13 @@ class Core:
         self.redirect_seq: Optional[int] = None
         self.fetch_stall_until = 0
         self.trace_done = False
+        # Absolute simulation position: these survive across run() so a
+        # core restored from a snapshot resumes mid-trace (see
+        # snapshot()/restore()).  ``fetched`` counts trace instructions
+        # consumed, which is the resume offset into the trace list.
+        self.cycle = 0
+        self.committed = 0
+        self.fetched = 0
         self.replays = 0
         self.load_squashes = 0
         self.issued_total = 0
@@ -181,21 +188,37 @@ class Core:
         max_instructions: int,
         max_cycles: Optional[int] = None,
         warmup: int = 0,
+        on_cycle=None,
     ) -> SimResult:
         """Simulate until ``max_instructions`` commit (or the trace ends).
 
         The first ``warmup`` committed instructions prime the caches and
         predictor but are excluded from IPC and rate statistics.
+
+        ``on_cycle(core)`` — when given — runs at the very top of every
+        cycle, before any pipeline activity, with ``core.cycle`` /
+        ``core.committed`` current.  It is the checkpoint/convergence
+        observation point: returning truthy stops the simulation at that
+        boundary.  The callback must not mutate simulator state.
+
+        A core restored via :meth:`restore` resumes from its snapshot
+        position: ``max_instructions`` still names the *total* commit
+        target, and ``max_cycles`` stays an absolute cycle budget.
         """
-        committed = 0
-        cycle = 0
+        committed = self.committed
+        cycle = self.cycle
         if max_cycles is None:
             max_cycles = 400 * (max_instructions + warmup) + 10_000
-        start_cycle = 0
+        start_cycle = cycle
         snap = None
         total = max_instructions + warmup
         arch = self.arch
         while committed < total and cycle < max_cycles:
+            if on_cycle is not None:
+                self.cycle = cycle
+                self.committed = committed
+                if on_cycle(self):
+                    break
             if arch is not None:
                 arch.begin_cycle(self, cycle)
                 if arch.stopped:
@@ -232,6 +255,8 @@ class Core:
             ):
                 break
             cycle += 1
+        self.cycle = cycle
+        self.committed = committed
         if snap is None:
             snap = (0,) * 17
             start_cycle = 0
@@ -485,6 +510,7 @@ class Core:
             if instr is None:
                 self.trace_done = True
                 return
+            self.fetched += 1
             if self.arch is not None:
                 instr = self.arch.on_fetch(self, instr, way, cycle)
             self.dispatch_q.append((cycle + frontend_latency, instr))
@@ -497,3 +523,106 @@ class Core:
                     return
                 if instr.taken:
                     return  # taken branches end the fetch group
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Plain-data copy of the complete machine state.
+
+        Taken at the top of a cycle (the ``on_cycle`` point), the dict
+        captures pipeline latches (dispatch queue, redirect/stall state,
+        the compaction-request latch inside the segmented queues), the
+        ROB/IQ/LSQ contents, completion bookkeeping, predictor and cache
+        state, the statistics counters, and — when an
+        :class:`~repro.cpu.archstate.ArchState` is attached — the whole
+        value layer via ``arch.capture()``.  In-flight instructions are
+        stored as ``(seq, pc)`` keys: the trace itself is not copied
+        (``seq`` indexes the trace list; a differing ``pc`` records an
+        ``on_fetch`` replacement).
+        """
+        return {
+            "cycle": self.cycle,
+            "committed": self.committed,
+            "fetched": self.fetched,
+            "trace_done": self.trace_done,
+            "redirect_seq": self.redirect_seq,
+            "fetch_stall_until": self.fetch_stall_until,
+            "rob": tuple(
+                (e.instr.seq, e.instr.pc, e.done) for e in self.rob
+            ),
+            "dispatch_q": tuple(
+                (avail, i.seq, i.pc) for avail, i in self.dispatch_q
+            ),
+            "iq_int": self.iq_int.snapshot(),
+            "iq_fp": self.iq_fp.snapshot(),
+            "lsq": self.lsq.snapshot(),
+            "opt_done": dict(self.opt_done),
+            "act_done": dict(self.act_done),
+            "pending_fixes": tuple(self.pending_fixes),
+            "predictor": self.predictor.snapshot(),
+            "caches": self.mem.snapshot(),
+            "stats": (
+                self.replays, self.load_squashes, self.issued_total,
+                self.iq_occupancy_sum, self.stall_rob_full,
+                self.stall_iq_full, self.stall_lsq_full,
+                self.fetch_redirect_cycles, self.fetch_stall_cycles,
+                self.fetch_backpressure_cycles,
+            ),
+            "arch": self.arch.capture() if self.arch is not None else None,
+        }
+
+    def restore(self, snap: dict, trace) -> None:
+        """Load a :meth:`snapshot` and resume from its cycle.
+
+        ``trace`` must be the same trace *list* the snapshotted run was
+        fed (``Instr.seq`` equals the list index, which is how in-flight
+        instructions are resolved).  The deterministic-resume contract:
+        a restored run continues bit-identically to the uninterrupted
+        one — same commit log, digest, cycle count, and statistics.
+        The attached ``arch`` observer (if any) is loaded in place, so a
+        faulty observer keeps its fault spec while inheriting golden
+        machine state.
+        """
+        def resolve(seq: int, pc: int) -> Instr:
+            instr = trace[seq]
+            if instr.pc != pc:  # on_fetch replaced it (fault layer)
+                instr = Instr(
+                    seq, instr.op, pc, instr.deps, instr.addr,
+                    instr.taken, instr.target,
+                )
+            return instr
+
+        self.cycle = snap["cycle"]
+        self.committed = snap["committed"]
+        self.fetched = snap["fetched"]
+        self.trace_done = snap["trace_done"]
+        self.redirect_seq = snap["redirect_seq"]
+        self.fetch_stall_until = snap["fetch_stall_until"]
+        self.trace = iter(trace[self.fetched:])
+        self.rob = deque()
+        self._rob_index = {}
+        for seq, pc, done in snap["rob"]:
+            entry = RobEntry(resolve(seq, pc))
+            entry.done = done
+            self.rob.append(entry)
+            self._rob_index[seq] = entry
+        self.dispatch_q = deque(
+            (avail, resolve(seq, pc))
+            for avail, seq, pc in snap["dispatch_q"]
+        )
+        self.iq_int.restore(snap["iq_int"], resolve)
+        self.iq_fp.restore(snap["iq_fp"], resolve)
+        self.lsq.restore(snap["lsq"])
+        self.opt_done = dict(snap["opt_done"])
+        self.act_done = dict(snap["act_done"])
+        self.pending_fixes = list(snap["pending_fixes"])
+        self.predictor.restore(snap["predictor"])
+        self.mem.restore(snap["caches"])
+        (
+            self.replays, self.load_squashes, self.issued_total,
+            self.iq_occupancy_sum, self.stall_rob_full,
+            self.stall_iq_full, self.stall_lsq_full,
+            self.fetch_redirect_cycles, self.fetch_stall_cycles,
+            self.fetch_backpressure_cycles,
+        ) = snap["stats"]
+        if self.arch is not None and snap["arch"] is not None:
+            self.arch.load(snap["arch"])

@@ -59,6 +59,23 @@ class IqEntry:
         self.blocked_until = 0
 
 
+def _entry_tuple(e: IqEntry) -> tuple:
+    """Plain-data form of an entry (the instr is keyed by seq + pc)."""
+    return (
+        e.instr.seq, e.instr.pc, e.segment, e.issued_at,
+        e.entered_segment_at, e.blocked_until,
+    )
+
+
+def _entry_from_tuple(t: tuple, resolve) -> IqEntry:
+    """Rebuild an entry; ``resolve(seq, pc)`` supplies the Instr."""
+    seq, pc, segment, issued_at, entered_at, blocked = t
+    e = IqEntry(resolve(seq, pc), segment, entered_at)
+    e.issued_at = issued_at
+    e.blocked_until = blocked
+    return e
+
+
 def _select_from(
     entries: List[IqEntry],
     cycle: int,
@@ -145,6 +162,16 @@ class CompactingIssueQueue:
 
     def occupancy(self) -> int:
         return len(self.entries)
+
+    def snapshot(self) -> dict:
+        """Entries in age order as plain tuples."""
+        return {"entries": tuple(_entry_tuple(e) for e in self.entries)}
+
+    def restore(self, snap: dict, resolve) -> None:
+        """Rebuild entries; ``resolve(seq, pc)`` maps back to Instrs."""
+        self.entries = [
+            _entry_from_tuple(t, resolve) for t in snap["entries"]
+        ]
 
 
 class SegmentedIssueQueue:
@@ -249,6 +276,20 @@ class SegmentedIssueQueue:
     def occupancy(self) -> int:
         return len(self.entries)
 
+    def snapshot(self) -> dict:
+        """Entries in global age order plus the compaction-request latch."""
+        return {
+            "entries": tuple(_entry_tuple(e) for e in self.entries),
+            "request_pending": self._request_pending,
+        }
+
+    def restore(self, snap: dict, resolve) -> None:
+        """Rebuild entries (age order preserved) and the request latch."""
+        self.entries = [
+            _entry_from_tuple(t, resolve) for t in snap["entries"]
+        ]
+        self._request_pending = snap["request_pending"]
+
 
 class LoadStoreQueue:
     """Capacity + store-to-load forwarding model of the LSQ.
@@ -295,3 +336,11 @@ class LoadStoreQueue:
 
     def occupancy(self) -> int:
         return len(self.entries)
+
+    def snapshot(self) -> dict:
+        """Entries are already plain tuples; copy them in order."""
+        return {"entries": tuple(self.entries)}
+
+    def restore(self, snap: dict) -> None:
+        """Load a :meth:`snapshot` back in order."""
+        self.entries = list(snap["entries"])

@@ -18,25 +18,37 @@ outcome (DAVOS-style simulation-based injection, ITHICA's taxonomy):
     physical-register double free).
 ``hang``
     The run fails to commit the full trace within the cycle-budget
-    watchdog (2x the golden cycle count plus slack).
+    watchdog (suffix-scaled: the golden cycle count plus one golden
+    suffix past the activation cycle, plus slack).
 
 - :mod:`repro.inject.sites` — injection-site enumerator; every site
   maps to its owning ICI block so campaigns can be conditioned on the
   fault map,
 - :mod:`repro.inject.models` — transient bit-flip and sticky stuck-at
   fault models applied through the core's architectural-state hooks,
+- :mod:`repro.inject.profiler` — per-site occupancy profiling of the
+  golden run (``--profile`` reports, residency-weighted sampling),
 - :mod:`repro.inject.harness` — golden/faulty paired execution and
-  outcome classification,
+  outcome classification, with checkpointed suffix replay and a
+  reconvergence early-exit (``fork=False`` keeps the from-scratch
+  reference path; classifications are bit-identical),
 - :mod:`repro.inject.campaign` — sharded, checkpointable campaigns with
   worker-count-invariant merged :class:`InjectionStats`, including the
   degraded-mode masking validation.
 """
 
-from repro.inject.sites import Site, enumerate_sites, mapped_out_blocks
+from repro.inject.sites import (
+    Site,
+    enumerate_sites,
+    mapped_out_blocks,
+    site_inert,
+)
 from repro.inject.models import FaultSpec, FaultyArchState, sample_faults
+from repro.inject.profiler import SiteProfile
 from repro.inject.harness import (
     GoldenRun,
     InjectionResult,
+    hang_budget,
     run_golden,
     run_with_fault,
 )
@@ -56,7 +68,9 @@ __all__ = [
     "InjectionSpec",
     "InjectionStats",
     "Site",
+    "SiteProfile",
     "enumerate_sites",
+    "hang_budget",
     "mapped_out_blocks",
     "masking_validation",
     "prepare_injection",
@@ -64,4 +78,5 @@ __all__ = [
     "run_injection",
     "run_with_fault",
     "sample_faults",
+    "site_inert",
 ]

@@ -46,16 +46,45 @@ class InjectionSpec:
     seed: int = 0
     blocks: Optional[Tuple[str, ...]] = None  # restrict sites to blocks
     chunk_size: int = 8
+    # Suffix-replay machinery (fork=False is the from-scratch reference;
+    # classifications are bit-identical either way).
+    checkpoint_interval: int = 128
+    fork: bool = True
+    # Summary-only mode: drop per-fault records, keep outcome counts,
+    # exact latency/distance aggregates, and a bounded exemplar set.
+    keep_records: bool = True
+    exemplar_cap: int = 8
+    # Site sampling: "uniform" | "weighted" (residency-proportional,
+    # profiled during the golden run).
+    sampling: str = "uniform"
+    profile_stride: int = 16
 
 
 @dataclass
 class InjectionStats:
-    """Merged campaign result: outcome counts + per-fault records."""
+    """Merged campaign result: outcome counts + per-fault records.
+
+    With ``keep_records=False`` (summary-only campaigns) the full record
+    list stays empty; instead each outcome keeps its first
+    ``exemplar_cap`` records and the latency/distance aggregates stay
+    exact.  Merge semantics remain worker-count-invariant: shards merge
+    in shard-index order, so "first N exemplars" means the same faults
+    as a serial run.
+    """
 
     outcomes: Dict[str, int] = field(
         default_factory=lambda: {k: 0 for k in OUTCOMES}
     )
     records: List[Dict[str, Any]] = field(default_factory=list)
+    keep_records: bool = True
+    exemplar_cap: int = 8
+    exemplars: Dict[str, List[Dict[str, Any]]] = field(
+        default_factory=dict
+    )
+    latency_n: int = 0
+    latency_sum: int = 0
+    distance_n: int = 0
+    distance_sum: int = 0
 
     @property
     def n(self) -> int:
@@ -66,62 +95,102 @@ class InjectionStats:
 
     def add(self, fault, result) -> None:
         self.outcomes[result.outcome] += 1
-        self.records.append(
-            {
-                "fault": fault.to_json(),
-                "block": fault.site.block,
-                "outcome": result.outcome,
-                "cycles": result.cycles,
-                "commits": result.commits,
-                "armed": result.armed,
-                "detect_reason": result.detect_reason,
-                "detect_latency": result.detect_latency,
-                "commit_distance": result.commit_distance,
-            }
-        )
+        if result.detect_latency is not None:
+            self.latency_n += 1
+            self.latency_sum += result.detect_latency
+        if result.commit_distance is not None:
+            self.distance_n += 1
+            self.distance_sum += result.commit_distance
+        rec = {
+            "fault": fault.to_json(),
+            "block": fault.site.block,
+            "outcome": result.outcome,
+            "cycles": result.cycles,
+            "commits": result.commits,
+            "armed": result.armed,
+            "detect_reason": result.detect_reason,
+            "detect_latency": result.detect_latency,
+            "commit_distance": result.commit_distance,
+        }
+        if self.keep_records:
+            self.records.append(rec)
+        else:
+            ex = self.exemplars.setdefault(result.outcome, [])
+            if len(ex) < self.exemplar_cap:
+                ex.append(rec)
 
     def merge(self, other: "InjectionStats") -> "InjectionStats":
         """Combine two shard results (records concatenate in shard
-        order, so the merged list is the serial campaign's list)."""
+        order, so the merged list is the serial campaign's list).  In
+        summary-only mode exemplars concatenate the same way and re-cap,
+        which reproduces the serial first-``exemplar_cap`` set."""
+        keep = self.keep_records if self.n else other.keep_records
+        cap = self.exemplar_cap if self.n else other.exemplar_cap
         outcomes = {
             k: self.outcomes.get(k, 0) + other.outcomes.get(k, 0)
             for k in OUTCOMES
         }
-        return InjectionStats(outcomes, self.records + other.records)
+        merged = InjectionStats(
+            outcomes,
+            self.records + other.records,
+            keep_records=keep,
+            exemplar_cap=cap,
+        )
+        for k in set(self.exemplars) | set(other.exemplars):
+            ex = self.exemplars.get(k, []) + other.exemplars.get(k, [])
+            merged.exemplars[k] = ex[:cap]
+        merged.latency_n = self.latency_n + other.latency_n
+        merged.latency_sum = self.latency_sum + other.latency_sum
+        merged.distance_n = self.distance_n + other.distance_n
+        merged.distance_sum = self.distance_sum + other.distance_sum
+        return merged
 
     def to_json(self) -> Dict[str, Any]:
-        return {"outcomes": self.outcomes, "records": self.records}
+        return {
+            "outcomes": self.outcomes,
+            "records": self.records,
+            "keep_records": self.keep_records,
+            "exemplar_cap": self.exemplar_cap,
+            "exemplars": self.exemplars,
+            "latency": [self.latency_n, self.latency_sum],
+            "distance": [self.distance_n, self.distance_sum],
+        }
 
     @classmethod
     def from_json(cls, d: Dict[str, Any]) -> "InjectionStats":
         outcomes = {k: 0 for k in OUTCOMES}
         outcomes.update({k: int(v) for k, v in d["outcomes"].items()})
-        return cls(outcomes, list(d["records"]))
+        stats = cls(
+            outcomes,
+            list(d["records"]),
+            keep_records=bool(d.get("keep_records", True)),
+            exemplar_cap=int(d.get("exemplar_cap", 8)),
+            exemplars={
+                k: list(v) for k, v in d.get("exemplars", {}).items()
+            },
+        )
+        stats.latency_n, stats.latency_sum = (
+            int(x) for x in d.get("latency", (0, 0))
+        )
+        stats.distance_n, stats.distance_sum = (
+            int(x) for x in d.get("distance", (0, 0))
+        )
+        return stats
 
     def summary(self) -> str:
         lines = [f"injections: {self.n}"]
         for k in OUTCOMES:
             c = self.outcomes.get(k, 0)
             lines.append(f"  {k:9s} {c:6d}  ({self.rate(k):6.1%})")
-        latencies = [
-            r["detect_latency"]
-            for r in self.records
-            if r["detect_latency"] is not None
-        ]
-        if latencies:
+        if self.latency_n:
             lines.append(
                 f"  detection latency: mean "
-                f"{sum(latencies) / len(latencies):.1f} cycles"
+                f"{self.latency_sum / self.latency_n:.1f} cycles"
             )
-        distances = [
-            r["commit_distance"]
-            for r in self.records
-            if r["commit_distance"] is not None
-        ]
-        if distances:
+        if self.distance_n:
             lines.append(
                 f"  corruption distance: mean "
-                f"{sum(distances) / len(distances):.1f} commits"
+                f"{self.distance_sum / self.distance_n:.1f} commits"
             )
         return "\n".join(lines)
 
@@ -154,12 +223,21 @@ def _inject_init(spec: InjectionSpec) -> None:
     trace = generate_trace(
         profile(spec.benchmark), spec.n_instructions, seed=spec.trace_seed
     )
-    golden = run_golden(config, trace, spec.n_instructions)
+    golden = run_golden(
+        config,
+        trace,
+        spec.n_instructions,
+        checkpoint_interval=spec.checkpoint_interval if spec.fork else 0,
+        profile_stride=(
+            spec.profile_stride if spec.sampling == "weighted" else 0
+        ),
+    )
     sites = enumerate_sites(config)
     if spec.blocks is not None:
         sites = sites_in_blocks(sites, spec.blocks)
     faults = sample_faults(
-        sites, spec.n_faults, spec.seed, spec.model, config, golden.cycles
+        sites, spec.n_faults, spec.seed, spec.model, config,
+        golden.cycles, mode=spec.sampling, profile=golden.profile,
     )
     _INJECT.clear()
     _INJECT.update(spec=spec, golden=golden, faults=faults)
@@ -169,12 +247,15 @@ def _inject_worker(span: Tuple[int, int]) -> Dict:
     from repro.inject.harness import run_with_fault
 
     start, stop = span
+    spec = _INJECT["spec"]
     golden = _INJECT["golden"]
-    stats = InjectionStats()
+    stats = InjectionStats(
+        keep_records=spec.keep_records, exemplar_cap=spec.exemplar_cap
+    )
     t = TELEMETRY
     for fault in _INJECT["faults"][start:stop]:
         with t.span("inject.run"):
-            result = run_with_fault(golden, fault)
+            result = run_with_fault(golden, fault, fork=spec.fork)
         stats.add(fault, result)
         if t.enabled:
             t.count("inject.runs")

@@ -6,31 +6,89 @@ trace with a :class:`FaultyArchState` attached and is classified:
 
 ``detected`` — a microarchitectural checker stopped the run first;
 ``sdc``      — the commit stream diverged from the golden record;
-``hang``     — the watchdog expired (2x golden cycles + slack) before
-               the full trace committed;
+``hang``     — the watchdog expired before the full trace committed;
 ``masked``   — the run committed the golden stream bit-for-bit.
 
 Detection latency is measured in cycles from fault activation to the
 checker firing; SDC corruption distance in commits from activation to
 the first divergent commit.  Both are exact because the golden
 comparison runs commit-by-commit inside the faulty run.
+
+Suffix replay (the golden fork)
+-------------------------------
+
+A from-scratch faulty run costs a full trace execution even when the
+fault injects late, so campaign cost is O(faults x trace).  Two
+optimizations make it O(suffix), both behind the ``fork=True`` seam of
+:func:`run_with_fault` with the from-scratch path kept as the reference:
+
+1. **Checkpointed fork** — ``run_golden`` snapshots the machine every
+   ``checkpoint_interval`` cycles (:meth:`~repro.cpu.pipeline.Core.
+   snapshot` at the top-of-cycle hook).  A faulty run restores the
+   newest checkpoint at or before the fault's activation cycle and
+   simulates only the suffix.  Until activation the faulty run is
+   bit-identical to golden (the fault layer is observation-only while
+   inactive), so the skipped prefix provably changes nothing.
+
+2. **Reconvergence early-exit** — once the fault can no longer perturb
+   live state (a transient that already fired, or a stuck-at whose site
+   is statically dead under this configuration —
+   :func:`~repro.inject.sites.site_inert`), the faulty machine is
+   compared against the golden checkpoint stream at every checkpoint
+   boundary.  The comparison (:func:`_live_view`) covers exactly the
+   state that can influence the future: fetch/commit position, ROB /
+   dispatch / issue-queue / LSQ contents (wakeup deadlines clamped to
+   the boundary cycle — an expired deadline is inert however it
+   expired), completion bookkeeping, live pending fixes, predictor and
+   cache contents (not their statistics), and the value layer's live
+   register set (registers referenced by any live rename record as
+   destination or captured source; dead cells cannot reach a future
+   read).  Committed memory and architectural registers are *implied*:
+   the faulty run diffs its commit log against golden incrementally, so
+   an un-stopped run's log is a golden prefix and the committed image is
+   a pure function of it.  A match therefore proves the remaining
+   trajectory is golden's — the run is ``masked`` with golden's final
+   cycle/commit counts, and the rest of the trace is skipped.
+
+The watchdog budget is suffix-scaled to the activation cycle: a fault
+firing at cycle ``c`` gets ``golden + (golden - c) + slack`` cycles
+(two golden suffixes past the prefix it cannot perturb), which for the
+campaign's cycle-0 stuck-ats reduces to the classic ``2 x golden +
+slack``.  The budget depends only on the fault, never on the fork seam,
+so hang records stay bit-identical between paths.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
 
 from repro.cpu.archstate import ArchState
 from repro.cpu.isa import Instr
 from repro.cpu.params import MachineConfig
 from repro.cpu.pipeline import Core
 from repro.inject.models import FaultSpec, FaultyArchState
+from repro.inject.profiler import SiteProfile
+from repro.inject.sites import site_inert
+from repro.telemetry import TELEMETRY
 
 #: Watchdog: a faulty run may take this factor of the golden cycle count
-#: (plus slack) before it is declared hung.
+#: (plus slack) before it is declared hung.  Kept for the suffix-scaled
+#: :func:`hang_budget` below (factor 2 = prefix + two suffixes at c=0).
 BUDGET_FACTOR = 2
 BUDGET_SLACK = 512
+
+
+def hang_budget(golden_cycles: int, fault: FaultSpec) -> int:
+    """Absolute watchdog cycle budget for one faulty run.
+
+    The prefix before the fault's activation cycle is provably golden,
+    so only the suffix earns slack: ``golden + (golden - c) + slack``.
+    At ``c = 0`` this is the classic ``BUDGET_FACTOR * golden + slack``.
+    Identical for forked and from-scratch runs by construction.
+    """
+    prefix = min(fault.cycle, golden_cycles)
+    return golden_cycles + (golden_cycles - prefix) + BUDGET_SLACK
 
 
 @dataclass
@@ -44,11 +102,38 @@ class GoldenRun:
     cycles: int
     commits: int
     digest: int
+    #: (cycle, Core.snapshot()) pairs at checkpoint boundaries, ascending.
+    checkpoints: List[Tuple[int, dict]] = field(
+        default_factory=list, repr=False, compare=False
+    )
+    checkpoint_interval: int = 0
+    #: Optional per-site occupancy profile (``--profile`` / weighted
+    #: sampling).
+    profile: Optional[SiteProfile] = field(default=None, compare=False)
+    #: Lazy cache of convergence views per checkpoint cycle.
+    views: Dict[int, tuple] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+
+    def fork_point(self, cycle: int) -> Optional[Tuple[int, dict]]:
+        """Newest checkpoint at or before ``cycle`` (None: run from 0)."""
+        best = None
+        for cp_cycle, snap in self.checkpoints:
+            if cp_cycle > cycle:
+                break
+            best = (cp_cycle, snap)
+        return best
 
 
 @dataclass
 class InjectionResult:
-    """Classified outcome of one fault injection."""
+    """Classified outcome of one fault injection.
+
+    The trailing ``compare=False`` fields are perf bookkeeping for the
+    suffix-replay machinery: fork and from-scratch runs must agree on
+    the classification (the compared fields), never on how much work it
+    took to reach it.
+    """
 
     outcome: str  # masked | sdc | detected | hang
     cycles: int
@@ -57,19 +142,58 @@ class InjectionResult:
     detect_reason: Optional[str] = None
     detect_latency: Optional[int] = None  # cycles, detected only
     commit_distance: Optional[int] = None  # commits, sdc only
+    simulated_cycles: int = field(default=0, compare=False)
+    fork_cycle: int = field(default=0, compare=False)
+    early_exit: bool = field(default=False, compare=False)
+    cycles_saved: int = field(default=0, compare=False)
 
 
 def run_golden(
-    config: MachineConfig, trace: List[Instr], n_instructions: int
+    config: MachineConfig,
+    trace: List[Instr],
+    n_instructions: int,
+    checkpoint_interval: int = 0,
+    profile_stride: int = 0,
 ) -> GoldenRun:
-    """Run the fault-free reference and record its commit stream."""
+    """Run the fault-free reference and record its commit stream.
+
+    With ``checkpoint_interval > 0`` a machine snapshot is taken at
+    every multiple of the interval (cycle 0 excluded: forking there is
+    just a from-scratch run); with ``profile_stride > 0`` a
+    :class:`SiteProfile` samples occupancy alongside.  Both observe
+    through the ``on_cycle`` hook, so the golden timing and commit
+    stream are bit-identical to an unobserved run.
+    """
     arch = ArchState(config)
     core = Core(config, iter(trace), arch=arch)
-    result = core.run(n_instructions)
+    checkpoints: List[Tuple[int, dict]] = []
+    prof = (
+        SiteProfile(config, profile_stride) if profile_stride else None
+    )
+    on_cycle = None
+    if checkpoint_interval or prof is not None:
+        def on_cycle(c: Core) -> bool:
+            cyc = c.cycle
+            if (
+                checkpoint_interval
+                and cyc
+                and cyc % checkpoint_interval == 0
+            ):
+                checkpoints.append((cyc, c.snapshot()))
+            if prof is not None and cyc % prof.stride == 0:
+                prof.observe(c)
+            return False
+    result = core.run(n_instructions, on_cycle=on_cycle)
     if arch.commits < n_instructions:
         raise RuntimeError(
             f"golden run committed {arch.commits}/{n_instructions}"
         )
+    t = TELEMETRY
+    if t.enabled and checkpoints:
+        prev = 0
+        for cp_cycle, _snap in checkpoints:
+            t.observe("inject.checkpoint_interval", cp_cycle - prev)
+            prev = cp_cycle
     return GoldenRun(
         config=config,
         trace=trace,
@@ -78,48 +202,203 @@ def run_golden(
         cycles=result.cycles,
         commits=arch.commits,
         digest=arch.state_digest(),
+        checkpoints=checkpoints,
+        checkpoint_interval=checkpoint_interval,
+        profile=prof,
     )
 
 
-def run_with_fault(golden: GoldenRun, fault: FaultSpec) -> InjectionResult:
-    """Replay the golden trace with one fault and classify the outcome."""
+def _live_view(snap: dict, at_cycle: int) -> tuple:
+    """Future-determining projection of a :meth:`Core.snapshot` dict.
+
+    Two machines with equal views at the top of cycle ``at_cycle``
+    evolve identically from there (given the same trace and no further
+    state perturbation).  Excluded, with the reason it is safe:
+
+    - committed memory / architectural registers / commit log /
+      retirement window — pure functions of the commit log, which is a
+      golden prefix for any un-stopped faulty run (incremental diff);
+    - statistic counters (cache hit/miss, predictor accuracy, stalls,
+      occupancy sums) — never read back by the machine;
+    - ``forced_ready`` — cleared at the top of every cycle before use.
+
+    Cycle-anchored deadlines that have already expired are clamped to
+    ``at_cycle`` (``fetch_stall_until``, issue-queue ``blocked_until``):
+    an expired deadline is inert regardless of when it expired.
+    """
+    arch = snap["arch"]
+    info = arch["info"]
+    prf = arch["prf"]
+    n_pregs = len(prf[0])
+    live = set()
+    for rec in info.values():
+        # rec = (preg, cls, a_d, prev, srcs, written, const)
+        if rec[0] is not None:
+            live.add((rec[1], rec[0]))
+        for cls, p in rec[4]:
+            if cls >= 0 and 0 <= p < n_pregs:
+                live.add((cls, p))
+    live_regs = tuple(
+        sorted((cls, p, prf[cls][p]) for cls, p in live)
+    )
+    pred = snap["predictor"]
+    opt = snap["opt_done"]
+
+    def iq_view(q: dict) -> tuple:
+        entries = tuple(
+            (seq, pc, seg, issued, entered, max(blocked, at_cycle))
+            for seq, pc, seg, issued, entered, blocked in q["entries"]
+        )
+        return (entries, q.get("request_pending"))
+
+    return (
+        snap["committed"],
+        snap["fetched"],
+        snap["trace_done"],
+        snap["redirect_seq"],
+        max(snap["fetch_stall_until"], at_cycle),
+        snap["rob"],
+        snap["dispatch_q"],
+        iq_view(snap["iq_int"]),
+        iq_view(snap["iq_fp"]),
+        snap["lsq"],
+        opt,
+        snap["act_done"],
+        tuple(fx for fx in snap["pending_fixes"] if fx[1] in opt),
+        (
+            pred["bimodal"], pred["gshare"], pred["chooser"],
+            pred["history"], pred["btb"], pred["ras"],
+        ),
+        (snap["caches"]["l1d"]["tags"], snap["caches"]["l2"]["tags"]),
+        arch["commits"],
+        info,
+        arch["free"],
+        arch["rmap"],
+        live_regs,
+    )
+
+
+def run_with_fault(
+    golden: GoldenRun, fault: FaultSpec, fork: bool = True
+) -> InjectionResult:
+    """Replay the golden trace with one fault and classify the outcome.
+
+    ``fork=True`` (the default) enables checkpointed suffix replay and
+    the reconvergence early-exit; ``fork=False`` is the from-scratch
+    reference path.  Both produce bit-identical classifications — the
+    compared fields of :class:`InjectionResult` — for every fault.
+    """
     arch = FaultyArchState(golden.config, fault, golden_log=golden.log)
-    core = Core(golden.config, iter(golden.trace), arch=arch)
-    budget = golden.cycles * BUDGET_FACTOR + BUDGET_SLACK
-    res = core.run(golden.n_instructions, max_cycles=budget)
+    budget = hang_budget(golden.cycles, fault)
+    fork_cycle = 0
+    cp = golden.fork_point(fault.cycle) if fork else None
+    if cp is not None:
+        fork_cycle, cp_snap = cp
+        core = Core(golden.config, iter(()), arch=arch)
+        core.restore(cp_snap, golden.trace)
+    else:
+        core = Core(golden.config, iter(golden.trace), arch=arch)
+
+    early_cycle: Optional[int] = None
+    on_cycle = None
+    interval = golden.checkpoint_interval
+    if (
+        fork
+        and interval
+        and golden.checkpoints
+        and (
+            fault.kind == "transient"
+            or site_inert(fault.site, golden.config)
+        )
+    ):
+        cpmap = {c: s for c, s in golden.checkpoints}
+        views = golden.views
+
+        def on_cycle(c: Core) -> bool:
+            nonlocal early_cycle
+            cyc = c.cycle
+            # Only boundaries strictly after activation: the fault fires
+            # inside cycle ``fault.cycle`` (after this hook), so the
+            # earliest boundary that can witness reconvergence is the
+            # next one.
+            if cyc <= fault.cycle or cyc % interval:
+                return False
+            g = cpmap.get(cyc)
+            if g is None:
+                return False
+            # Cheap position precheck before paying for a snapshot.
+            if c.committed != g["committed"] or c.fetched != g["fetched"]:
+                return False
+            gv = views.get(cyc)
+            if gv is None:
+                gv = views[cyc] = _live_view(g, cyc)
+            if _live_view(c.snapshot(), cyc) == gv:
+                early_cycle = cyc
+                return True
+            return False
+
+    core.run(
+        golden.n_instructions, max_cycles=budget, on_cycle=on_cycle
+    )
+    end_cycle = core.cycle
+    simulated = end_cycle - fork_cycle
+    saved = fork_cycle
+    if early_cycle is not None:
+        saved += golden.cycles - early_cycle
+
+    t = TELEMETRY
+    if t.enabled:
+        t.count("inject.sim_cycles", simulated)
+        if fork_cycle:
+            t.count("inject.fork_restores")
+        if early_cycle is not None:
+            t.count("inject.early_exits")
+        if saved:
+            t.count("inject.cycles_saved", saved)
+
+    def _result(
+        outcome: str,
+        cycles: int,
+        commits: int,
+        detect_reason=None,
+        detect_latency=None,
+        commit_distance=None,
+    ) -> InjectionResult:
+        return InjectionResult(
+            outcome=outcome,
+            cycles=cycles,
+            commits=commits,
+            armed=arch.armed,
+            detect_reason=detect_reason,
+            detect_latency=detect_latency,
+            commit_distance=commit_distance,
+            simulated_cycles=simulated,
+            fork_cycle=fork_cycle,
+            early_exit=early_cycle is not None,
+            cycles_saved=saved,
+        )
+
+    if early_cycle is not None:
+        # Reconverged to golden: the rest of the run *is* golden's.
+        return _result(
+            "masked", max(golden.cycles, 1), golden.commits
+        )
+    cycles = max(end_cycle, 1)
     if arch.outcome == "detected":
         latency = None
         if arch.detect_cycle is not None and arch.armed_cycle is not None:
             latency = arch.detect_cycle - arch.armed_cycle
-        return InjectionResult(
-            outcome="detected",
-            cycles=res.cycles,
-            commits=arch.commits,
-            armed=arch.armed,
-            detect_reason=arch.detect_reason,
-            detect_latency=latency,
+        return _result(
+            "detected", cycles, arch.commits,
+            detect_reason=arch.detect_reason, detect_latency=latency,
         )
     if arch.outcome == "sdc":
         distance = None
         if arch.first_divergence is not None:
             distance = arch.first_divergence - arch.armed_commits
-        return InjectionResult(
-            outcome="sdc",
-            cycles=res.cycles,
-            commits=arch.commits,
-            armed=arch.armed,
-            commit_distance=distance,
+        return _result(
+            "sdc", cycles, arch.commits, commit_distance=distance
         )
     if arch.commits < golden.n_instructions:
-        return InjectionResult(
-            outcome="hang",
-            cycles=res.cycles,
-            commits=arch.commits,
-            armed=arch.armed,
-        )
-    return InjectionResult(
-        outcome="masked",
-        cycles=res.cycles,
-        commits=arch.commits,
-        armed=arch.armed,
-    )
+        return _result("hang", cycles, arch.commits)
+    return _result("masked", cycles, arch.commits)

@@ -80,6 +80,20 @@ class FaultSpec:
         )
 
 
+def _weighted_choice(rng: random.Random, pool: List[Site], profile) -> Site:
+    """Pick a site from ``pool`` with probability proportional to its
+    profiled residency (+1 smoothing so cold sites stay reachable)."""
+    weights = [profile.residency(s.struct, s.index) + 1 for s in pool]
+    total = sum(weights)
+    x = rng.random() * total
+    acc = 0
+    for site, w in zip(pool, weights):
+        acc += w
+        if x < acc:
+            return site
+    return pool[-1]
+
+
 def sample_faults(
     sites: List[Site],
     n: int,
@@ -87,6 +101,8 @@ def sample_faults(
     model: str,
     config: MachineConfig,
     golden_cycles: int,
+    mode: str = "uniform",
+    profile=None,
 ) -> List[FaultSpec]:
     """Draw ``n`` faults deterministically (one seed stream per index).
 
@@ -96,9 +112,19 @@ def sample_faults(
     files.  Transient activation cycles are drawn as a fraction of the
     golden run length (the middle three quarters), so the same seed
     lands faults at comparable execution phases on any configuration.
+
+    ``mode="weighted"`` keeps the uniform structure pick (the stratified
+    per-index ``derive_seed`` streams are unchanged) but draws the site
+    *within* the structure proportional to its residency in the given
+    :class:`~repro.inject.profiler.SiteProfile` — faults land where
+    state actually lives.  The default stays uniform.
     """
     if model not in KINDS and model != "both":
         raise ValueError(f"unknown fault model {model!r}")
+    if mode not in ("uniform", "weighted"):
+        raise ValueError(f"unknown sampling mode {mode!r}")
+    if mode == "weighted" and profile is None:
+        raise ValueError("weighted sampling needs a SiteProfile")
     by_struct: Dict[str, List[Site]] = {}
     for s in sites:
         by_struct.setdefault(s.struct, []).append(s)
@@ -109,7 +135,10 @@ def sample_faults(
     for i in range(n):
         rng = random.Random(derive_seed(seed, i, "inject.fault"))
         pool = by_struct[structs[rng.randrange(len(structs))]]
-        site = pool[rng.randrange(len(pool))]
+        if mode == "weighted":
+            site = _weighted_choice(rng, pool, profile)
+        else:
+            site = pool[rng.randrange(len(pool))]
         if model == "both":
             kind = KINDS[rng.randrange(2)]
         else:

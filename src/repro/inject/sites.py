@@ -125,6 +125,51 @@ def enumerate_sites(config: MachineConfig) -> List[Site]:
     return sites
 
 
+def site_inert(site: Site, config: MachineConfig) -> bool:
+    """True when ``config`` can never place live state under this site.
+
+    A mapped-out structure half is still physical silicon, but no
+    occupant, allocation, or fetch ever reaches it: a degraded segmented
+    queue packs into half 0 (slots at or past the half — including the
+    compaction-latch slots — resolve to no occupant), a degraded backend
+    allocates registers only from the low half of the file, a degraded
+    LSQ never grows past its halved capacity, and ways at or past
+    ``fetch_width`` never fetch.  A fault confined to such a site can
+    never touch reachable state, which is what licenses the injection
+    harness's reconvergence early-exit even for stuck-ats: the fault
+    keeps re-applying, but only to dead silicon.
+
+    ROB and rename-map sites are never inert (chipkill structures stay
+    fully live in every configuration).
+    """
+    core = config.core
+    struct = site.struct
+    if struct == "fetch":
+        return site.index >= config.fetch_width
+    if struct in ("iq_int", "iq_fp"):
+        halves = (
+            config.iq_int_halves if struct == "iq_int"
+            else config.iq_fp_halves
+        )
+        if halves == 2:
+            return False
+        half = (
+            core.iq_int_size if struct == "iq_int" else core.iq_fp_size
+        ) // 2
+        return site.index >= half
+    if struct == "lsq":
+        return site.index >= config.lsq_size
+    if struct in ("prf_int", "prf_fp"):
+        groups = (
+            config.int_backend_groups if struct == "prf_int"
+            else config.fp_backend_groups
+        )
+        if groups == 2:
+            return False
+        return site.index >= preg_count(core) // 2
+    return False
+
+
 def mapped_out_blocks(counts: CoreCounts) -> Tuple[str, ...]:
     """ICI blocks the fault map has isolated (half 1 of degraded dims)."""
     out = []

@@ -42,8 +42,15 @@ class TestParser:
         assert args.model == "both"
         assert args.config == "full"
         assert args.blocks == "all"
+        assert args.checkpoint_interval == 128
+        assert not args.no_fork
+        assert not args.summary_only
+        assert args.sampling == "uniform"
+        assert not args.profile
         with pytest.raises(SystemExit):
             build_parser().parse_args(["inject", "--model", "bogus"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["inject", "--sampling", "bogus"])
 
 
 class TestCommands:
@@ -98,6 +105,25 @@ class TestCommands:
         ])
         assert code == 0
         assert "injections: 4" in capsys.readouterr().out
+
+    def test_inject_profile_command(self, capsys):
+        code = main([
+            "inject", "--profile", "--instructions", "600",
+            "--config", "degraded",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "site profile:" in out and "hottest" in out
+
+    def test_inject_fork_and_summary_flags(self, capsys):
+        code = main([
+            "inject", "--sites", "4", "--instructions", "600",
+            "--no-fork", "--summary-only", "--sampling", "weighted",
+            "--no-checkpoint",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "injections: 4" in out
 
     def test_verilog_command(self, capsys, tmp_path):
         out_file = tmp_path / "core.v"

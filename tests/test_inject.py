@@ -8,6 +8,8 @@ validation, and the campaign's worker/chunk/resume invariance.
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 import pytest
 
 from repro.cpu import ArchState, Core, MachineConfig
@@ -26,6 +28,7 @@ from repro.inject import (
     run_injection,
     run_with_fault,
     sample_faults,
+    site_inert,
 )
 from repro.inject.campaign import DIMENSIONS
 from repro.inject.sites import field_width, sites_in_blocks
@@ -301,6 +304,150 @@ class TestCampaign:
         ) == 16
         assert counters["inject.outcome.masked"] == stats.outcomes["masked"]
         assert counters["inject.faulty_cycles"] > 0
+
+    def test_fork_campaign_equals_scratch(self):
+        forked = run_injection(SPEC, workers=1, checkpoint=False)
+        scratch = run_injection(
+            replace(SPEC, fork=False), workers=1, checkpoint=False
+        )
+        assert forked == scratch
+        odd = run_injection(
+            replace(SPEC, checkpoint_interval=57), workers=1,
+            checkpoint=False,
+        )
+        assert odd == scratch
+
+    def test_fork_telemetry_counters(self):
+        # A fresh seed forces _inject_init (and so run_golden's
+        # checkpoint histogram) to run inside the collect scopes.
+        spec = replace(SPEC, seed=5)
+        TELEMETRY.reset()
+        TELEMETRY.enable()
+        try:
+            with TELEMETRY.collect() as m_fork:
+                run_injection(spec, workers=1, checkpoint=False)
+            with TELEMETRY.collect() as m_scratch:
+                run_injection(
+                    replace(spec, fork=False), workers=1,
+                    checkpoint=False,
+                )
+        finally:
+            TELEMETRY.disable()
+        fork_c, scratch_c = m_fork.counters, m_scratch.counters
+        assert fork_c["inject.fork_restores"] > 0
+        assert fork_c["inject.early_exits"] > 0
+        assert fork_c["inject.cycles_saved"] > 0
+        assert (
+            fork_c["inject.sim_cycles"] < scratch_c["inject.sim_cycles"]
+        )
+        # The golden run records its checkpoint spacing...
+        hist = m_fork.hists["inject.checkpoint_interval"]
+        assert hist.n > 0
+        assert hist.mean == spec.checkpoint_interval
+        # ...and the scratch path never forks, exits, or checkpoints.
+        for name in (
+            "inject.fork_restores", "inject.early_exits",
+            "inject.cycles_saved",
+        ):
+            assert name not in scratch_c
+        assert "inject.checkpoint_interval" not in m_scratch.hists
+
+    def test_summary_only_mode(self):
+        full = run_injection(SPEC, workers=1, checkpoint=False)
+        spec = replace(SPEC, keep_records=False, exemplar_cap=3)
+        summary = run_injection(spec, workers=1, checkpoint=False)
+        assert summary.n == full.n
+        assert summary.outcomes == full.outcomes
+        assert summary.records == []
+        assert summary.exemplars
+        assert all(
+            len(v) <= 3 for v in summary.exemplars.values()
+        )
+        assert all(
+            r["outcome"] == k
+            for k, v in summary.exemplars.items() for r in v
+        )
+        # Aggregate metrics survive without records: same summary text.
+        assert summary.summary() == full.summary()
+        # Worker-count invariance and JSON round-trip still hold.
+        two = run_injection(spec, workers=2, checkpoint=False)
+        assert summary == two
+        assert summary == InjectionStats.from_json(summary.to_json())
+        empty = InjectionStats()
+        assert empty.merge(summary) == summary
+
+    def test_weighted_sampling(self):
+        trace = _trace(800)
+        golden = run_golden(FULL, trace, 800, profile_stride=16)
+        sites = enumerate_sites(FULL)
+        a = sample_faults(
+            sites, 20, 0, "both", FULL, golden.cycles,
+            mode="weighted", profile=golden.profile,
+        )
+        b = sample_faults(
+            sites, 20, 0, "both", FULL, golden.cycles,
+            mode="weighted", profile=golden.profile,
+        )
+        assert a == b
+        universe = set(sites)
+        assert all(f.site in universe for f in a)
+        uniform = sample_faults(sites, 20, 0, "both", FULL, golden.cycles)
+        assert a != uniform
+        # Structure picks stay stratified: same structure per index.
+        assert [f.site.struct for f in a] == [
+            f.site.struct for f in uniform
+        ]
+        with pytest.raises(ValueError):
+            sample_faults(
+                sites, 4, 0, "both", FULL, golden.cycles, mode="weighted"
+            )
+        with pytest.raises(ValueError):
+            sample_faults(
+                sites, 4, 0, "both", FULL, golden.cycles, mode="bogus"
+            )
+
+    def test_site_profile_contents(self):
+        trace = _trace(800)
+        golden = run_golden(DEGRADED, trace, 800, profile_stride=16)
+        prof = golden.profile
+        assert prof.samples > 0
+        assert prof.residency("rob", 0) > 0
+        assert prof.residency("fetch", 0) > 0
+        totals = prof.struct_totals()
+        assert totals["iq_int"] > 0 and totals["lsq"] > 0
+        # Residency never exceeds the sample count...
+        assert all(c <= prof.samples for c in prof.counts.values())
+        # ...and mapped-out silicon never shows occupancy.
+        for (struct, index) in prof.counts:
+            assert not site_inert(
+                Site(struct, index, "x", "chipkill"), DEGRADED
+            )
+        assert "samples" in prof.report()
+
+    def test_site_inert(self):
+        core = FULL.core
+        iq_half = core.iq_int_size // 2
+        mk = lambda struct, index: Site(struct, index, "x", "b")
+        # Full config: everything is live.
+        for struct, index in (
+            ("iq_int", core.iq_int_size), ("lsq", core.lsq_size - 1),
+            ("prf_int", preg_count(core) - 1), ("fetch", 3),
+            ("rob", 0), ("rmap_int", 0),
+        ):
+            assert not site_inert(mk(struct, index), FULL)
+        # Degraded: the mapped-out halves are statically dead...
+        assert site_inert(mk("iq_int", iq_half), DEGRADED)
+        assert site_inert(mk("iq_int", 2 * iq_half), DEGRADED)  # latch
+        assert site_inert(mk("lsq", DEGRADED.lsq_size), DEGRADED)
+        assert site_inert(
+            mk("prf_int", preg_count(core) // 2), DEGRADED
+        )
+        assert site_inert(mk("fetch", DEGRADED.fetch_width), DEGRADED)
+        # ...while the live halves and chipkill structures are not.
+        assert not site_inert(mk("iq_int", 0), DEGRADED)
+        assert not site_inert(mk("lsq", 0), DEGRADED)
+        assert not site_inert(mk("rob", core.rob_size - 1), DEGRADED)
+        assert not site_inert(mk("rmap_int", 31), DEGRADED)
 
     @pytest.mark.slow
     def test_full_campaign_taxonomy_coverage(self):
