@@ -13,6 +13,10 @@ Thin wrappers over the library for the common flows:
   core with masked/SDC/detected/hang classification;
 - ``repro run`` — the sharded campaign runner (``--workers N`` processes,
   ``--resume`` to continue from ``.repro_cache/`` checkpoints);
+- ``repro serve`` — the long-lived HTTP campaign service (job submission,
+  live shard-level status, ``/metrics`` monitoring, crash recovery);
+- ``repro submit`` / ``repro status`` / ``repro result`` — thin clients
+  for a running service;
 - ``repro trace`` — summarize a JSONL trace written by ``--trace PATH``.
 
 The compute commands accept ``--trace PATH``: telemetry is enabled for
@@ -25,12 +29,27 @@ stdout carries only the results.
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 from typing import List, Optional
 
-#: Campaigns `repro run` can shard; single source for parser choices,
-#: dispatch, and the CLI tests' round-trip assertion.
-RUN_CAMPAIGNS = ("isolation", "montecarlo", "ipc", "inject")
+from repro.runner.registry import REGISTRY
+
+#: Campaigns `repro run` and the service can drive; sourced from the
+#: runner registry so parser choices, dispatch, and the CLI tests' round
+#: trip can never drift from what is actually registered.
+RUN_CAMPAIGNS = tuple(REGISTRY)
+
+#: Default service endpoint for the client commands (override with
+#: --url or the REPRO_SERVICE_URL environment variable).
+DEFAULT_SERVICE_URL = "http://127.0.0.1:8070"
+
+
+def _service_url(args: argparse.Namespace) -> str:
+    if args.url:
+        return args.url
+    return os.environ.get("REPRO_SERVICE_URL", DEFAULT_SERVICE_URL)
 
 
 def _cmd_isolate(args: argparse.Namespace) -> int:
@@ -330,6 +349,110 @@ def _cmd_inject(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import threading
+
+    from repro.service import CampaignService
+
+    if args.telemetry:
+        from repro.telemetry import TELEMETRY
+
+        TELEMETRY.enable()
+    service = CampaignService(
+        host=args.host,
+        port=args.port,
+        cache_root=args.cache_dir,
+        queue_size=args.queue_size,
+        service_workers=args.service_workers,
+        shard_workers=args.shard_workers,
+        retry_after=args.retry_after,
+        max_retries=args.max_retries,
+        verbose=args.verbose,
+    )
+    service.start()
+    # Parsed by clients and the recovery tests: exact prefix + URL.
+    print(f"serving on {service.url}", flush=True)
+    print(
+        f"  campaigns: {', '.join(RUN_CAMPAIGNS)}  "
+        f"queue: {args.queue_size}  workers: {args.service_workers} "
+        f"(x{args.shard_workers} shard procs)",
+        file=sys.stderr,
+    )
+    try:
+        threading.Event().wait()  # serve until interrupted
+    except KeyboardInterrupt:
+        print("shutting down...", file=sys.stderr)
+        service.stop()
+    return 0
+
+
+def _parse_params(args: argparse.Namespace) -> dict:
+    params = json.loads(args.params) if args.params else {}
+    if not isinstance(params, dict):
+        raise SystemExit("--params must be a JSON object")
+    return params
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.runner.registry import get_campaign
+    from repro.service import QueueFullError, ServiceClient
+
+    client = ServiceClient(_service_url(args))
+    try:
+        snap = client.submit(args.campaign, _parse_params(args))
+    except QueueFullError as exc:
+        print(
+            f"queue full; retry after {exc.retry_after:g}s",
+            file=sys.stderr,
+        )
+        return 2
+    verb = "submitted" if snap.get("created") else "coalesced onto"
+    print(f"{verb} job {snap['job']} ({snap['state']})", file=sys.stderr)
+    # stdout carries exactly the job id, so `JOB=$(repro submit ...)`
+    # works with or without --wait; the summary joins the stderr chatter
+    # (`repro result` re-prints it on demand).
+    print(snap["job"])
+    if not args.wait:
+        return 0
+    payload = client.wait(snap["job"], timeout=args.timeout)
+    entry = get_campaign(args.campaign)
+    print(
+        entry.summarize(entry.result_from_json(payload["result"])),
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    from repro.service import ServiceClient
+
+    client = ServiceClient(_service_url(args))
+    if args.job is None:
+        print(json.dumps(client.jobs(), indent=2))
+        return 0
+    snap = client.status(args.job, events_since=args.events_since)
+    print(json.dumps(snap, indent=2))
+    return 0
+
+
+def _cmd_result(args: argparse.Namespace) -> int:
+    from repro.runner.registry import get_campaign
+    from repro.service import ServiceClient, ServiceError
+
+    client = ServiceClient(_service_url(args))
+    try:
+        payload = client.result(args.job)
+    except ServiceError as exc:
+        print(f"job not finished: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(payload["result"], indent=2))
+        return 0
+    entry = get_campaign(payload["campaign"])
+    print(entry.summarize(entry.result_from_json(payload["result"])))
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.telemetry import summarize
 
@@ -514,6 +637,84 @@ def build_parser() -> argparse.ArgumentParser:
                    help="simulate all 64 configs instead of composing")
     add_trace_flag(p)
     p.set_defaults(func=_cmd_run)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the HTTP campaign service",
+        description=(
+            "Serve campaign submissions over HTTP: POST /jobs with "
+            '{"campaign": name, "params": {...}}, poll '
+            "/jobs/<id>/status for shard-level progress, GET "
+            "/jobs/<id>/result for the merged result, /metrics for "
+            "live telemetry.  Jobs are keyed by spec hash (idempotent "
+            "resubmission), the queue is bounded (429 + Retry-After "
+            "when full), and a killed service resumes unfinished jobs "
+            "from their shard checkpoints on restart."
+        ),
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8070,
+                   help="listen port (0 = ephemeral; default 8070)")
+    p.add_argument("--queue-size", type=int, default=16,
+                   help="max queued jobs before 429 (default 16)")
+    p.add_argument("--service-workers", type=int, default=2,
+                   help="concurrent job executions (default 2)")
+    p.add_argument("--shard-workers", type=int, default=1,
+                   help="shard worker processes per job (default 1)")
+    p.add_argument("--retry-after", type=float, default=1.0,
+                   help="Retry-After hint on 429 (seconds, default 1)")
+    p.add_argument("--max-retries", type=int, default=2,
+                   help="automatic resume attempts after a worker "
+                        "death before a job fails (default 2)")
+    p.add_argument("--cache-dir", default=None,
+                   help="journal + checkpoint root (default "
+                        ".repro_cache or $REPRO_CACHE_DIR)")
+    p.add_argument("--telemetry", action="store_true",
+                   help="enable the telemetry registry so /metrics "
+                        "reports live counters (default off)")
+    p.add_argument("-v", "--verbose", action="store_true",
+                   help="log HTTP requests to stderr")
+    p.set_defaults(func=_cmd_serve)
+
+    def add_url_flag(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--url", default=None,
+                       help="service endpoint (default "
+                            "$REPRO_SERVICE_URL or "
+                            f"{DEFAULT_SERVICE_URL})")
+
+    p = sub.add_parser(
+        "submit", help="submit a campaign to a running service"
+    )
+    p.add_argument("campaign", choices=RUN_CAMPAIGNS)
+    p.add_argument("--params", default=None, metavar="JSON",
+                   help="campaign spec overrides as a JSON object, "
+                        'e.g. \'{"n_chips": 5000, "seed": 3}\'')
+    p.add_argument("--wait", action="store_true",
+                   help="poll until done and print the result summary")
+    p.add_argument("--timeout", type=float, default=3600.0,
+                   help="--wait timeout in seconds (default 3600)")
+    add_url_flag(p)
+    p.set_defaults(func=_cmd_submit)
+
+    p = sub.add_parser(
+        "status", help="job status from a running service"
+    )
+    p.add_argument("job", nargs="?", default=None,
+                   help="job id (omit to list all jobs)")
+    p.add_argument("--events-since", type=int, default=None,
+                   help="include progress events from this index on")
+    add_url_flag(p)
+    p.set_defaults(func=_cmd_status)
+
+    p = sub.add_parser(
+        "result", help="fetch a finished job's merged result"
+    )
+    p.add_argument("job", help="job id")
+    p.add_argument("--json", action="store_true",
+                   help="print the raw result payload instead of the "
+                        "summary")
+    add_url_flag(p)
+    p.set_defaults(func=_cmd_result)
 
     p = sub.add_parser(
         "trace", help="inspect a JSONL telemetry trace"

@@ -287,6 +287,7 @@ def run_injection(
     resume: bool = False,
     checkpoint: bool = True,
     cache_root: Optional[str] = None,
+    store: Optional[CheckpointStore] = None,
     progress: Optional[ProgressFn] = None,
 ) -> InjectionStats:
     """Run the sharded injection campaign; returns merged stats.
@@ -294,11 +295,13 @@ def run_injection(
     Bit-identical for any ``workers``/``chunk_size``/resume history:
     faults are sampled from per-index seed streams, each injection is an
     independent deterministic simulation, and shard payloads merge in
-    shard-index order.
+    shard-index order.  An explicit ``store`` overrides the default
+    checkpoint store (the campaign service's injection seam).
     """
     prepare_injection(spec)
     spans = shard_ranges(len(_INJECT["faults"]), spec.chunk_size)
-    store = _campaign_store(spec, checkpoint, cache_root)
+    if store is None:
+        store = _campaign_store(spec, checkpoint, cache_root)
     payloads = run_shards(
         spans,
         _inject_worker,

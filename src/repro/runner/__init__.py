@@ -17,6 +17,7 @@ use :mod:`repro.runner.seeding`, and the lazy hop keeps that cycle open.
 """
 
 from repro.runner.executor import ProgressFn, ShardProgress, run_shards
+from repro.runner.registry import REGISTRY, CampaignEntry, get_campaign
 from repro.runner.seeding import derive_seed, shard_ranges
 from repro.runner.store import CheckpointStore, config_hash
 
@@ -34,11 +35,14 @@ _CAMPAIGN_EXPORTS = (
 )
 
 __all__ = [
+    "REGISTRY",
+    "CampaignEntry",
     "CheckpointStore",
     "ProgressFn",
     "ShardProgress",
     "config_hash",
     "derive_seed",
+    "get_campaign",
     "run_shards",
     "shard_ranges",
     *_CAMPAIGN_EXPORTS,

@@ -129,6 +129,7 @@ def run_isolation(
     resume: bool = False,
     checkpoint: bool = True,
     cache_root: Optional[str] = None,
+    store: Optional[CheckpointStore] = None,
     progress: Optional[ProgressFn] = None,
 ):
     """Run the sharded Section 6.1 campaign; returns ``IsolationStats``.
@@ -136,13 +137,16 @@ def run_isolation(
     Bit-identical to the serial ``isolation_experiment`` for any
     ``workers``/``chunk_size`` (all stats are integer counts over a
     deterministic fault sample partitioned by contiguous chunks).
+    An explicit ``store`` overrides the default checkpoint store (the
+    campaign service injects instrumented stores through this seam).
     """
     from repro.rtl.experiment import IsolationStats
 
     prepare_isolation(spec)
     n = len(_ISOLATION["faults"])
     spans = shard_ranges(n, spec.chunk_size)
-    store = _campaign_store("isolation", spec, checkpoint, cache_root)
+    if store is None:
+        store = _campaign_store("isolation", spec, checkpoint, cache_root)
     payloads = run_shards(
         spans,
         _isolation_worker,
@@ -250,6 +254,7 @@ def run_montecarlo(
     resume: bool = False,
     checkpoint: bool = True,
     cache_root: Optional[str] = None,
+    store: Optional[CheckpointStore] = None,
     progress: Optional[ProgressFn] = None,
 ):
     """Run the sharded chip-sampling campaign; returns ``MonteCarloResult``.
@@ -257,12 +262,14 @@ def run_montecarlo(
     Bit-identical to ``simulate_chips`` with the same parameters: chips
     carry index-derived RNG streams, spans merge by concatenation, and
     the single final reduction uses exactly-rounded summation.
+    An explicit ``store`` overrides the default checkpoint store.
     """
     from repro.yieldmodel.montecarlo import ChipSpan, MonteCarloResult
 
     _montecarlo_init(spec)
     spans = shard_ranges(spec.n_chips, spec.chunk_size)
-    store = _campaign_store("montecarlo", spec, checkpoint, cache_root)
+    if store is None:
+        store = _campaign_store("montecarlo", spec, checkpoint, cache_root)
     payloads = run_shards(
         spans,
         _montecarlo_worker,
@@ -400,6 +407,7 @@ def run_ipc_sweep(
     resume: bool = False,
     checkpoint: bool = True,
     cache_root: Optional[str] = None,
+    store: Optional[CheckpointStore] = None,
     progress: Optional[ProgressFn] = None,
 ) -> IpcSweepResult:
     """Run the sharded degraded-IPC sweep.
@@ -407,7 +415,8 @@ def run_ipc_sweep(
     Each item is an independent deterministic simulation (trace seeded,
     machine config derived from the key), so results are trivially
     bit-identical across worker counts; shards are self-contained (no
-    worker initializer needed).
+    worker initializer needed).  An explicit ``store`` overrides the
+    default checkpoint store.
     """
     items = ipc_sweep_items(spec)
     chunks: List[List] = [
@@ -417,7 +426,8 @@ def run_ipc_sweep(
         ]
         for start, stop in shard_ranges(len(items), spec.chunk_size)
     ]
-    store = _campaign_store("ipc", spec, checkpoint, cache_root)
+    if store is None:
+        store = _campaign_store("ipc", spec, checkpoint, cache_root)
     payloads = run_shards(
         chunks,
         _ipc_worker,

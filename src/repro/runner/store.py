@@ -92,12 +92,34 @@ class CheckpointStore:
                 continue  # truncated/garbled line: shard reruns
         return out
 
+    def _tail_torn(self) -> bool:
+        """True when the file ends mid-line (a crash during append).
+
+        Appending straight after a torn tail would glue the new record
+        onto the partial line and lose *both* on the next load; sealing
+        the tail with a newline first confines the damage to the one
+        half-written shard, which simply reruns.
+        """
+        try:
+            with open(self.path, "rb") as f:
+                f.seek(-1, os.SEEK_END)
+                return f.read(1) != b"\n"
+        except (OSError, ValueError):
+            return False  # absent or empty file: nothing to seal
+
     def append(self, shard: int, payload: Any) -> None:
-        """Record one completed shard (flushed immediately)."""
+        """Record one completed shard (flushed immediately).
+
+        Self-healing: a torn final line left by a killed writer is
+        sealed with a newline before the new record, so a resumed run
+        never corrupts the shard it just recomputed.
+        """
         self.path.parent.mkdir(parents=True, exist_ok=True)
         line = json.dumps(
             {"shard": shard, "payload": payload}, separators=(",", ":")
         )
+        if self._tail_torn():
+            line = "\n" + line
         with open(self.path, "a") as f:
             f.write(line + "\n")
             f.flush()

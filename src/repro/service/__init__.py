@@ -1,0 +1,35 @@
+"""HTTP campaign service over the sharded runner.
+
+``repro.service`` wraps :mod:`repro.runner` in a long-lived process:
+POST a campaign spec, watch shard-level progress live, fetch the merged
+result — with idempotent resubmission (spec-hash job identity), bounded
+queueing with 429 backpressure, journaled crash recovery that resumes
+from shard checkpoints, and a ``/metrics`` endpoint over the telemetry
+registry.  See DESIGN.md §"Campaign service" for the full contract and
+:mod:`repro.service.testing` for the fault-injecting test harness.
+
+Stdlib-only (``http.server`` + ``urllib``): serving traffic adds no
+dependencies beyond the library itself.
+"""
+
+from repro.service.client import (
+    JobFailedError,
+    QueueFullError,
+    ServiceClient,
+    ServiceError,
+)
+from repro.service.jobs import Job, JobJournal, JobQueue, QueueFull, WorkerKilled
+from repro.service.server import CampaignService
+
+__all__ = [
+    "CampaignService",
+    "Job",
+    "JobJournal",
+    "JobQueue",
+    "JobFailedError",
+    "QueueFull",
+    "QueueFullError",
+    "ServiceClient",
+    "ServiceError",
+    "WorkerKilled",
+]

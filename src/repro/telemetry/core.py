@@ -410,6 +410,38 @@ class Telemetry:
         """Fold serialized metrics (a checkpoint payload) into this scope."""
         self.merge_metrics(Metrics.from_json(payload))
 
+    def export(self) -> Dict[str, Any]:
+        """Snapshot-for-export view (the service's ``/metrics`` payload).
+
+        Disabled, this is one attribute test returning a constant-shaped
+        stub — the monitoring endpoint stays zero-cost when telemetry is
+        off.  Enabled, it returns a detached JSON copy of the live
+        metrics plus the run-invariant ``deterministic`` subset (the view
+        that worker-count-invariance guarantees apply to).
+
+        The registry is single-threaded by design, but the campaign
+        service reads this snapshot from an HTTP thread while a worker
+        thread may be folding shard metrics in; the short copy loop is
+        retried on the (rare) ``RuntimeError`` a mid-iteration mutation
+        raises, so a live read never crashes the server.
+        """
+        if not self.enabled:
+            return {"enabled": False, "metrics": None, "deterministic": None}
+        for _ in range(8):
+            try:
+                snap = self.metrics.to_json()
+            except RuntimeError:  # dict mutated mid-copy; retry
+                continue
+            return {
+                "enabled": True,
+                "metrics": snap,
+                "deterministic": {
+                    "counters": snap["counters"],
+                    "hists": snap["hists"],
+                },
+            }
+        return {"enabled": True, "metrics": None, "deterministic": None}
+
 
 #: The singleton every instrumentation point uses.
 TELEMETRY = Telemetry()
