@@ -11,6 +11,8 @@ Thin wrappers over the library for the common flows:
   component graphs;
 - ``repro inject`` — architectural fault injection on the cycle-level
   core with masked/SDC/detected/hang classification;
+- ``repro decide`` — Pareto decision support: rank all 64 map-out
+  configurations on (YAT, IPC, residual SDC, area saved);
 - ``repro run`` — the sharded campaign runner (``--workers N`` processes,
   ``--resume`` to continue from ``.repro_cache/`` checkpoints);
 - ``repro serve`` — the long-lived HTTP campaign service (job submission,
@@ -211,12 +213,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
         checkpoint=not args.no_checkpoint,
         cache_root=args.cache_dir,
     )
+    if args.campaign == "decide":
+        return _cmd_decide(args)
     if args.campaign == "isolation":
         spec = IsolationSpec(
             tiny=args.tiny,
             baseline=args.baseline,
             fault_seed=args.seed,
-            n_faults=args.faults,
+            n_faults=args.faults if args.faults is not None else 600,
             chunk_size=args.chunk_size or 50,
         )
         stats = run_isolation(
@@ -228,7 +232,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         from repro.inject import InjectionSpec, run_injection
 
         spec = InjectionSpec(
-            n_faults=args.faults,
+            n_faults=args.faults if args.faults is not None else 64,
             seed=args.seed,
             chunk_size=args.chunk_size or 8,
         )
@@ -253,8 +257,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
         return 0
     spec = IpcSweepSpec(
         benchmarks=tuple(args.benchmarks) or _all_benchmarks(),
-        n_instructions=args.instructions,
-        warmup=args.warmup,
+        n_instructions=(
+            args.instructions if args.instructions is not None else 20_000
+        ),
+        warmup=args.warmup if args.warmup is not None else 12_000,
         compose=not args.full,
         chunk_size=args.chunk_size or 1,
     )
@@ -347,6 +353,44 @@ def _cmd_inject(args: argparse.Namespace) -> int:
         )
         return 0 if ok else 1
     return 0
+
+
+def _decide_spec(args: argparse.Namespace):
+    from repro.decide import DecideSpec
+
+    # `repro decide` and `repro run decide` share this builder; the run
+    # parser lacks the inject-phase flags, so fall back to spec defaults.
+    return DecideSpec(
+        benchmarks=tuple(args.benchmarks) or ("gzip", "mcf"),
+        n_instructions=(
+            args.instructions if args.instructions is not None else 3000
+        ),
+        warmup=args.warmup if args.warmup is not None else 1500,
+        inject_benchmark=getattr(args, "inject_benchmark", "gzip"),
+        inject_instructions=getattr(args, "inject_instructions", 1500),
+        n_faults=args.faults if args.faults is not None else 64,
+        inject_seed=args.seed,
+        node_nm=args.node,
+        growth=args.growth / 100,
+        stagnation_node_nm=float(args.stagnation),
+        chunk_size=args.chunk_size or 1,
+    )
+
+
+def _cmd_decide(args: argparse.Namespace) -> int:
+    from repro.decide import run_decide
+
+    spec = _decide_spec(args)
+    result = run_decide(
+        spec,
+        workers=args.workers,
+        resume=args.resume,
+        checkpoint=not args.no_checkpoint,
+        cache_root=args.cache_dir,
+        progress=_progress_printer("decide"),
+    )
+    print(result.summary(top=getattr(args, "top", 10)))
+    return 0 if result.front else 1
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -605,7 +649,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="isolation: random-fault scan isolation (§6.1); "
              "montecarlo: chip-sampling YAT check (§6.3); "
              "ipc: degraded-configuration IPC sweep (Figure 9); "
-             "inject: architectural fault injection / SDC classification",
+             "inject: architectural fault injection / SDC classification; "
+             "decide: Pareto ranking of the 64 map-out configurations",
     )
     p.add_argument("--workers", type=int, default=1,
                    help="worker processes (default 1 = in-process)")
@@ -619,24 +664,76 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--chunk-size", type=int, default=None,
                    help="items per shard (campaign-specific default)")
     p.add_argument("--seed", type=int, default=1)
-    # isolation knobs
-    p.add_argument("--faults", type=int, default=600)
+    # isolation / inject / decide knobs (per-campaign defaults:
+    # isolation 600, inject 64, decide 64)
+    p.add_argument("--faults", type=int, default=None)
     p.add_argument("--tiny", action="store_true")
     p.add_argument("--baseline", action="store_true")
-    # montecarlo knobs
+    # montecarlo / decide knobs
     p.add_argument("--chips", type=int, default=2000)
     p.add_argument("--node", type=float, default=32.0)
     p.add_argument("--growth", type=int, default=30)
     p.add_argument("--stagnation", type=int, default=90, choices=(90, 65))
-    # ipc knobs
+    # ipc / decide knobs (per-campaign defaults: ipc 20000/12000
+    # instructions/warmup, decide 3000/1500)
     p.add_argument("--benchmarks", nargs="*", default=[],
-                   help="benchmark names (default: all 23)")
-    p.add_argument("--instructions", type=int, default=20_000)
-    p.add_argument("--warmup", type=int, default=12_000)
+                   help="benchmark names (default: all 23 for ipc, "
+                        "gzip+mcf for decide)")
+    p.add_argument("--instructions", type=int, default=None)
+    p.add_argument("--warmup", type=int, default=None)
     p.add_argument("--full", action="store_true",
                    help="simulate all 64 configs instead of composing")
+    p.add_argument("--top", type=int, default=10,
+                   help="ranked configurations to print (decide only)")
     add_trace_flag(p)
     p.set_defaults(func=_cmd_run)
+
+    p = sub.add_parser(
+        "decide",
+        help="Pareto-rank the 64 map-out configurations",
+        description=(
+            "Score every CoreCounts map-out configuration on (YAT "
+            "contribution, IPC ratio, residual SDC vulnerability, area "
+            "saved), then report the Pareto-optimal front, the "
+            "crowding-distance knee point, and a stable total ranking. "
+            "Measurements (an injection campaign on the full core plus "
+            "the composed IPC sweep) run through the sharded campaign "
+            "runner: results are bit-identical for any --workers / "
+            "--chunk-size, and --resume continues from checkpoints."
+        ),
+    )
+    p.add_argument("--benchmarks", nargs="*", default=[],
+                   help="IPC benchmarks (default: gzip mcf)")
+    p.add_argument("--instructions", type=int, default=3000,
+                   help="measured instructions per IPC point")
+    p.add_argument("--warmup", type=int, default=1500)
+    p.add_argument("--inject-benchmark", default="gzip",
+                   help="benchmark driving the injection phase")
+    p.add_argument("--inject-instructions", type=int, default=1500)
+    p.add_argument("--faults", type=int, default=64,
+                   help="fault injections on the full core (default 64)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--node", type=float, default=32.0,
+                   help="technology node in nm (default 32)")
+    p.add_argument("--growth", type=int, default=30,
+                   help="core growth percent per generation")
+    p.add_argument("--stagnation", type=int, default=90, choices=(90, 65),
+                   help="node where PWP stops improving")
+    p.add_argument("--top", type=int, default=10,
+                   help="ranked configurations to print (default 10)")
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes (default 1 = in-process)")
+    p.add_argument("--chunk-size", type=int, default=None,
+                   help="IPC points per shard (default 1)")
+    p.add_argument("--resume", action="store_true",
+                   help="reuse completed shards from the checkpoint store")
+    p.add_argument("--no-checkpoint", action="store_true",
+                   help="do not write shard checkpoints")
+    p.add_argument("--cache-dir", default=None,
+                   help="checkpoint root (default .repro_cache or "
+                        "$REPRO_CACHE_DIR)")
+    add_trace_flag(p)
+    p.set_defaults(func=_cmd_decide)
 
     p = sub.add_parser(
         "serve",

@@ -9,6 +9,7 @@ instant.
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 from typing import Dict, Optional, Tuple
 
@@ -119,9 +120,33 @@ class IpcCache:
         return self._data[k]
 
     def _save(self) -> None:
+        """Persist the memo without losing concurrent writers' entries.
+
+        Parallel sweep shards share one cache path, so a plain
+        ``write_text`` races two ways: interleaved writes corrupt the
+        JSON, and last-writer-wins drops the other worker's entries.
+        Merge-on-save (re-read the file, union our entries over it)
+        keeps every key either worker wrote, and the temp-file +
+        ``os.replace`` dance makes the update atomic — readers only
+        ever see a complete JSON document.
+        """
         try:
             self.path.parent.mkdir(parents=True, exist_ok=True)
-            self.path.write_text(json.dumps(self._data, indent=0))
+            merged: Dict[str, float] = {}
+            if self.path.exists():
+                try:
+                    on_disk = json.loads(self.path.read_text())
+                    if isinstance(on_disk, dict):
+                        merged = on_disk
+                except (json.JSONDecodeError, OSError):
+                    merged = {}
+            merged.update(self._data)
+            self._data = merged
+            tmp = self.path.with_name(
+                f"{self.path.name}.tmp.{os.getpid()}"
+            )
+            tmp.write_text(json.dumps(merged, indent=0))
+            os.replace(tmp, self.path)
         except OSError:  # pragma: no cover - cache is best-effort
             pass
 

@@ -85,6 +85,10 @@ class InjectionStats:
     latency_sum: int = 0
     distance_n: int = 0
     distance_sum: int = 0
+    #: Per-ICI-block outcome counts, kept even in summary-only mode —
+    #: the per-block SDC rates `repro.decide` folds into its
+    #: vulnerability scores.  {block: {outcome: count}}.
+    by_block: Dict[str, Dict[str, int]] = field(default_factory=dict)
 
     @property
     def n(self) -> int:
@@ -95,6 +99,10 @@ class InjectionStats:
 
     def add(self, fault, result) -> None:
         self.outcomes[result.outcome] += 1
+        block = self.by_block.setdefault(
+            fault.site.block, {k: 0 for k in OUTCOMES}
+        )
+        block[result.outcome] += 1
         if result.detect_latency is not None:
             self.latency_n += 1
             self.latency_sum += result.detect_latency
@@ -139,6 +147,15 @@ class InjectionStats:
         for k in set(self.exemplars) | set(other.exemplars):
             ex = self.exemplars.get(k, []) + other.exemplars.get(k, [])
             merged.exemplars[k] = ex[:cap]
+        # Blocks appear in first-shard-touched order; counts are plain
+        # integer sums, so the merged map is worker-count-invariant.
+        for by in (self.by_block, other.by_block):
+            for blk, counts in by.items():
+                acc = merged.by_block.setdefault(
+                    blk, {k: 0 for k in OUTCOMES}
+                )
+                for k, v in counts.items():
+                    acc[k] = acc.get(k, 0) + v
         merged.latency_n = self.latency_n + other.latency_n
         merged.latency_sum = self.latency_sum + other.latency_sum
         merged.distance_n = self.distance_n + other.distance_n
@@ -154,6 +171,9 @@ class InjectionStats:
             "exemplars": self.exemplars,
             "latency": [self.latency_n, self.latency_sum],
             "distance": [self.distance_n, self.distance_sum],
+            "by_block": {
+                blk: self.by_block[blk] for blk in sorted(self.by_block)
+            },
         }
 
     @classmethod
@@ -175,7 +195,19 @@ class InjectionStats:
         stats.distance_n, stats.distance_sum = (
             int(x) for x in d.get("distance", (0, 0))
         )
+        stats.by_block = {
+            blk: {k: int(v) for k, v in counts.items()}
+            for blk, counts in d.get("by_block", {}).items()
+        }
         return stats
+
+    def block_rate(self, block: str, outcome: str) -> float:
+        """Rate of ``outcome`` among the faults injected into ``block``."""
+        counts = self.by_block.get(block)
+        if not counts:
+            return 0.0
+        total = sum(counts.values())
+        return counts.get(outcome, 0) / total if total else 0.0
 
     def summary(self) -> str:
         lines = [f"injections: {self.n}"]

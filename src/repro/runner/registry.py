@@ -1,7 +1,7 @@
 """Uniform campaign registry: one descriptor per runnable campaign.
 
-The four paper campaigns (isolation, montecarlo, ipc, inject) share the
-runner recipe — a frozen spec dataclass, a ``run_*`` entry point with the
+The five registered campaigns (isolation, montecarlo, ipc, inject,
+decide) share the runner recipe — a frozen spec dataclass, a ``run_*`` entry point with the
 ``(spec, *, workers, resume, checkpoint, cache_root, store, progress)``
 signature, and a JSON-serializable merged result — but until now each
 caller (the CLI, tests, benchmarks) hard-coded the per-campaign imports
@@ -195,6 +195,12 @@ def _inject_from_json(payload):
     return InjectionStats.from_json(payload)
 
 
+def _decide_from_json(payload):
+    from repro.decide.campaign import DecideResult
+
+    return DecideResult.from_json(payload)
+
+
 #: name -> (to_json, from_json, summarize)
 _CODECS: Dict[str, Tuple[Callable, Callable, Callable]] = {
     "isolation": (
@@ -211,6 +217,11 @@ _CODECS: Dict[str, Tuple[Callable, Callable, Callable]] = {
     "inject": (
         lambda r: r.to_json(),
         _inject_from_json,
+        lambda r: r.summary(),
+    ),
+    "decide": (
+        lambda r: r.to_json(),
+        _decide_from_json,
         lambda r: r.summary(),
     ),
 }
@@ -245,6 +256,13 @@ REGISTRY: Dict[str, CampaignEntry] = {
         spec_name="InjectionSpec",
         run_name="run_injection",
         store_name="inject",
+    ),
+    "decide": CampaignEntry(
+        name="decide",
+        module="repro.decide.campaign",
+        spec_name="DecideSpec",
+        run_name="run_decide",
+        store_name="decide",
     ),
 }
 

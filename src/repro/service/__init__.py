@@ -18,11 +18,13 @@ from repro.service.client import (
     ServiceClient,
     ServiceError,
 )
+from repro.service.dashboard import DASHBOARD_HTML
 from repro.service.jobs import Job, JobJournal, JobQueue, QueueFull, WorkerKilled
 from repro.service.server import CampaignService
 
 __all__ = [
     "CampaignService",
+    "DASHBOARD_HTML",
     "Job",
     "JobJournal",
     "JobQueue",

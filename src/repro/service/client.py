@@ -84,6 +84,12 @@ class ServiceClient:
     def health(self) -> Dict[str, Any]:
         return self._request("GET", "/healthz")
 
+    def dashboard(self) -> str:
+        """The HTML monitoring page served at the service root."""
+        req = urllib.request.Request(self.base_url + "/")
+        with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+            return resp.read().decode("utf-8")
+
     def campaigns(self) -> list:
         return self._request("GET", "/campaigns")["campaigns"]
 

@@ -40,6 +40,8 @@ HTTP endpoints::
     GET  /metrics               telemetry export snapshot + queue stats
     GET  /campaigns             registered campaign names
     GET  /healthz               liveness + job-state counts
+    GET  /                      static HTML dashboard (polls /jobs,
+                                /metrics)
 """
 
 from __future__ import annotations
@@ -55,6 +57,7 @@ from urllib.parse import parse_qs, urlparse
 
 from repro.runner.registry import REGISTRY, CampaignEntry, get_campaign
 from repro.runner.store import default_cache_root
+from repro.service.dashboard import DASHBOARD_HTML
 from repro.service.jobs import (
     Job,
     JobJournal,
@@ -394,6 +397,14 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    def _html(self, code: int, text: str) -> None:
+        body = text.encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", "text/html; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
     # -- routes ---------------------------------------------------------
     def do_POST(self) -> None:  # noqa: N802 (stdlib naming)
         service = self.server.service
@@ -437,6 +448,9 @@ class _Handler(BaseHTTPRequestHandler):
         service = self.server.service
         parsed = urlparse(self.path)
         parts = [p for p in parsed.path.split("/") if p]
+        if not parts:
+            self._html(200, DASHBOARD_HTML)
+            return
         if parts == ["healthz"]:
             self._json(
                 200, {"ok": True, "jobs": service.state_counts()}

@@ -23,7 +23,7 @@ class TestParser:
         # documented in `repro run --help`.
         parser = build_parser()
         assert set(RUN_CAMPAIGNS) == {
-            "isolation", "montecarlo", "ipc", "inject"
+            "isolation", "montecarlo", "ipc", "inject", "decide"
         }
         for name in RUN_CAMPAIGNS:
             args = parser.parse_args(["run", name])

@@ -1,5 +1,7 @@
 """Tests for the degraded-configuration bridge and the IPC cache."""
 
+import json
+
 import pytest
 
 from repro.cpu import MachineConfig
@@ -45,6 +47,32 @@ class TestIpcCache:
         cache2 = IpcCache(tmp_path / "ipc.json")
         key = IpcCache.key("gzip", cfg, 800, 12345, 400)
         assert cache2._data[key] == v1
+
+    def test_racing_caches_lose_no_entries(self, tmp_path):
+        # Two cache instances on the same path, saving alternately: a
+        # plain write_text would drop whichever keys the other instance
+        # wrote last (lost update).  Merge-on-save must keep both.
+        path = tmp_path / "ipc.json"
+        a, b = IpcCache(path), IpcCache(path)
+        a._data["ka"] = 1.0
+        a._save()
+        b._data["kb"] = 2.0
+        b._save()  # b loaded before a's save: must merge, not clobber
+        a._data["ka2"] = 3.0
+        a._save()
+        on_disk = json.loads(path.read_text())
+        assert on_disk == {"ka": 1.0, "kb": 2.0, "ka2": 3.0}
+        # Saving leaves no temp droppings behind.
+        assert [p.name for p in tmp_path.iterdir()] == ["ipc.json"]
+
+    def test_save_is_atomic_over_corrupt_file(self, tmp_path):
+        # A half-written (corrupt) file must not poison the next save.
+        path = tmp_path / "ipc.json"
+        path.write_text('{"torn": 1.')
+        cache = IpcCache(path)
+        cache._data["k"] = 1.5
+        cache._save()
+        assert json.loads(path.read_text()) == {"k": 1.5}
 
     def test_default_path_uses_repro_cache_dir(self, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "unified"))

@@ -274,6 +274,50 @@ class TestCampaign:
         assert all(r["outcome"] in stats.outcomes for r in stats.records)
         assert stats.summary()
 
+    def test_by_block_counts(self):
+        stats = run_injection(SPEC, workers=1, checkpoint=False)
+        # Per-block counts partition the outcome totals exactly.
+        for outcome in stats.outcomes:
+            assert sum(
+                counts.get(outcome, 0)
+                for counts in stats.by_block.values()
+            ) == stats.outcomes[outcome]
+        assert sum(
+            sum(c.values()) for c in stats.by_block.values()
+        ) == stats.n
+        # Agrees with the per-record view while records are kept.
+        for blk, counts in stats.by_block.items():
+            for outcome, n in counts.items():
+                assert n == sum(
+                    1 for r in stats.records
+                    if r["block"] == blk and r["outcome"] == outcome
+                )
+        # block_rate is the per-block conditional outcome rate.
+        blk = next(iter(stats.by_block))
+        total = sum(stats.by_block[blk].values())
+        assert stats.block_rate(blk, "masked") == pytest.approx(
+            stats.by_block[blk]["masked"] / total
+        )
+        assert stats.block_rate("nonesuch", "masked") == 0.0
+
+    def test_by_block_populated_without_records(self):
+        stats = run_injection(
+            replace(SPEC, keep_records=False), workers=1,
+            checkpoint=False,
+        )
+        assert not stats.records
+        assert stats.by_block
+        assert sum(
+            sum(c.values()) for c in stats.by_block.values()
+        ) == stats.n
+        # Summary-only stats still roundtrip with per-block counts.
+        assert InjectionStats.from_json(stats.to_json()) == stats
+
+    def test_by_block_merge_worker_invariant(self):
+        one = run_injection(SPEC, workers=1, checkpoint=False)
+        two = run_injection(SPEC, workers=2, checkpoint=False)
+        assert one.by_block == two.by_block
+
     def test_masking_validation(self):
         val = masking_validation(
             InjectionSpec(n_instructions=800, n_faults=16, chunk_size=4),

@@ -40,9 +40,9 @@ def mc_direct():
 # ----------------------------------------------------------------------
 
 class TestRegistry:
-    def test_all_four_campaigns_registered(self):
+    def test_all_five_campaigns_registered(self):
         assert tuple(REGISTRY) == ("isolation", "montecarlo", "ipc",
-                                   "inject")
+                                   "inject", "decide")
 
     def test_make_spec_fills_defaults_and_coerces_tuples(self):
         entry = get_campaign("inject")
@@ -95,6 +95,19 @@ class TestRegistry:
             result = IpcSweepResult(
                 {("gzip", (2, 2, 2, 2, 2, 2)): 1.5,
                  ("mcf", (1, 2, 2, 2, 2, 2)): 1.2}
+            )
+        elif name == "decide":
+            from repro.decide import DecideSpec, evaluate
+            from repro.inject.campaign import InjectionStats
+            from repro.yieldmodel.configs import CoreCounts, DIMENSIONS
+
+            measured = {("gzip", CoreCounts().key()): 1.5}
+            for dim in DIMENSIONS:
+                measured[("gzip", CoreCounts(**{dim: 1}).key())] = 1.2
+            result = evaluate(
+                DecideSpec(benchmarks=("gzip",)),
+                measured,
+                InjectionStats(),
             )
         else:
             from repro.inject.campaign import InjectionStats
@@ -180,6 +193,41 @@ class TestServiceApi:
         with service_fixture(tmp_path, service_workers=0) as (client, _):
             assert client.health()["ok"] is True
             assert client.campaigns() == list(REGISTRY)
+
+    def test_jobs_listing_contract(self, tmp_path):
+        # GET /jobs is the dashboard's data source: every snapshot must
+        # carry the fields the page renders (job, campaign, state,
+        # progress.done/total, error).
+        with service_fixture(tmp_path, service_workers=1) as (client, _):
+            assert client.jobs() == []
+            snap = client.submit("montecarlo", MC_PARAMS)
+            client.wait(snap["job"], timeout=60)
+            jobs = client.jobs()
+            assert len(jobs) == 1
+            (job,) = jobs
+            assert job["job"] == snap["job"]
+            assert job["campaign"] == "montecarlo"
+            assert job["state"] == "done"
+            assert job["error"] is None
+            assert job["progress"]["done"] == job["progress"]["total"]
+
+    def test_dashboard_served_at_root(self, tmp_path):
+        import urllib.request
+
+        with service_fixture(tmp_path, service_workers=0) as (client, svc):
+            with urllib.request.urlopen(svc.url + "/", timeout=10) as resp:
+                assert resp.status == 200
+                ctype = resp.headers.get("Content-Type", "")
+                assert ctype.startswith("text/html")
+                html = resp.read().decode("utf-8")
+            assert html == client.dashboard()
+            # The page only polls routes the server actually exposes.
+            assert 'fetch("/jobs")' in html
+            assert 'fetch("/metrics")' in html
+            # Unknown paths still 404 as JSON, not the dashboard.
+            with pytest.raises(ServiceError) as err:
+                client._request("GET", "/nonesuch")
+            assert err.value.status == 404
 
 
 # ----------------------------------------------------------------------
