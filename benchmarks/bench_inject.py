@@ -7,12 +7,16 @@ faults sampled only from mapped-out ICI blocks must classify 100%
 on the full core (where those blocks are live) produce a nonzero
 SDC/hang/detection rate.  Also verifies that campaign results are
 bit-identical between serial and multi-worker execution, across a
-checkpoint/resume cycle, and between checkpointed suffix replay
-(``fork=True``, at two different checkpoint intervals) and the
-from-scratch reference path — and measures the suffix-replay win:
-total simulated cycles forked vs from-scratch must drop by at least
-3x on the masking campaign (recorded with wall-clock speedup in the
-JSON).
+checkpoint/resume cycle, and between every replay strategy — grouped
+warm-core replay, ungrouped per-fault forking, scan-disabled forking
+(the PR 6 behavior), and the from-scratch reference path, each at two
+checkpoint intervals.  Performance is gated twice: total simulated
+cycles forked vs from-scratch must drop by at least 3x, and
+checkpoint-grouped replay with the sticky first-effect scan at a finer
+interval must beat the PR 6 forked baseline by at least 2x wall clock
+(both recorded in the JSON, along with peak RSS, the compressed
+snapshot-arena footprint, and a cold/warm golden-prefix-cache probe —
+a warm campaign must simulate zero golden cycles).
 
 Results land in ``BENCH_inject.json`` at the repo root.
 
@@ -24,9 +28,10 @@ python benchmarks/bench_inject.py --check         # CI gate, no JSON
 python benchmarks/bench_inject.py --faults 256 --workers 8
 ```
 
-``--check`` runs a small campaign pair and asserts masking plus
-worker/resume invariance, exiting nonzero on any violation without
-touching the JSON.
+``--check`` runs a small campaign pair and asserts masking, worker /
+resume invariance, replay-strategy equivalence, and the golden-cache
+cold/warm contract, exiting nonzero on any violation without touching
+the JSON.
 """
 
 from __future__ import annotations
@@ -106,8 +111,10 @@ def _masking_specs(spec):
 
 
 def _assert_fork_equivalence(spec) -> None:
-    """Suffix replay must reproduce from-scratch stats bit-exactly on
-    the masking-validation fault list, at any checkpoint interval."""
+    """Every replay strategy must reproduce from-scratch stats
+    bit-exactly on the masking-validation fault list, at any checkpoint
+    interval: grouped warm-core replay, ungrouped per-fault forking,
+    and scan-disabled forking (the PR 6 behavior)."""
     from dataclasses import replace
 
     from repro.inject import run_injection
@@ -117,16 +124,23 @@ def _assert_fork_equivalence(spec) -> None:
             replace(s, fork=False), workers=1, checkpoint=False
         )
         for interval in (s.checkpoint_interval, 97):
-            forked = run_injection(
-                replace(s, fork=True, checkpoint_interval=interval),
-                workers=1, checkpoint=False,
-            )
-            if forked != scratch:
-                raise AssertionError(
-                    f"forked InjectionStats (checkpoint interval "
-                    f"{interval}) differ from from-scratch on the "
-                    f"{name} core"
-                )
+            variants = {
+                "grouped": replace(s, checkpoint_interval=interval),
+                "ungrouped": replace(
+                    s, grouped=False, checkpoint_interval=interval
+                ),
+                "unscanned": replace(
+                    s, first_effect=False, checkpoint_interval=interval
+                ),
+            }
+            for variant, vs in variants.items():
+                forked = run_injection(vs, workers=1, checkpoint=False)
+                if forked != scratch:
+                    raise AssertionError(
+                        f"{variant} InjectionStats (checkpoint "
+                        f"interval {interval}) differ from "
+                        f"from-scratch on the {name} core"
+                    )
 
 
 def _measure_suffix_replay(spec, workers: int) -> dict:
@@ -189,6 +203,177 @@ def _measure_suffix_replay(spec, workers: int) -> dict:
     }
 
 
+def _measure_grouped_replay(spec, workers: int) -> dict:
+    """PR 6 forked baseline vs checkpoint-grouped replay + scan.
+
+    Both legs run the full masking campaign end-to-end — golden
+    simulation, first-effect scan, and every faulty replay inside the
+    timed region.  The baseline reproduces PR 6 behavior exactly
+    (ungrouped per-fault forking, no scan, the coarse default
+    interval); the contender is this PR's default strategy at a finer
+    checkpoint interval.  Gated at a 2x wall-clock speedup.
+    """
+    from dataclasses import replace
+
+    from repro.inject import run_injection
+    from repro.inject import campaign as campaign_mod
+    from repro.telemetry import TELEMETRY
+
+    fine = 48
+    specs = _masking_specs(spec)
+    baseline = {
+        name: replace(
+            s, grouped=False, first_effect=False, checkpoint_interval=128
+        )
+        for name, s in specs.items()
+    }
+    contender = {
+        name: replace(s, checkpoint_interval=fine)
+        for name, s in specs.items()
+    }
+    TELEMETRY.enable()
+    try:
+        with TELEMETRY.collect() as m_base:
+            t0 = time.perf_counter()
+            base_stats = {}
+            for name, s in baseline.items():
+                campaign_mod._INJECT.clear()
+                base_stats[name] = run_injection(
+                    s, workers=workers, checkpoint=False
+                )
+            base_wall = time.perf_counter() - t0
+        arena = {}
+        with TELEMETRY.collect() as m_grp:
+            t0 = time.perf_counter()
+            grp_stats = {}
+            for name, s in contender.items():
+                campaign_mod._INJECT.clear()
+                grp_stats[name] = run_injection(
+                    s, workers=workers, checkpoint=False
+                )
+                arena[name] = campaign_mod._INJECT[
+                    "golden"
+                ].arena.stats()
+            grp_wall = time.perf_counter() - t0
+    finally:
+        TELEMETRY.disable()
+        TELEMETRY.reset()
+    if grp_stats != base_stats:
+        raise AssertionError(
+            "grouped+scanned campaign stats differ from the PR 6 "
+            "baseline"
+        )
+    for name, stats in arena.items():
+        if stats["compressed_bytes"] >= stats["raw_bytes"]:
+            raise AssertionError(
+                f"snapshot arena did not compress on the {name} core: "
+                f"{stats}"
+            )
+    speedup = base_wall / grp_wall
+    if speedup < 2.0:
+        raise AssertionError(
+            f"grouped replay wall speedup {speedup:.2f}x over the PR 6 "
+            f"forked baseline is below the 2x gate"
+        )
+    return {
+        "baseline": {
+            "strategy": "ungrouped fork, no first-effect scan (PR 6)",
+            "checkpoint_interval": 128,
+            "wall_seconds": round(base_wall, 4),
+        },
+        "grouped": {
+            "strategy": "checkpoint-grouped + sticky first-effect scan",
+            "checkpoint_interval": fine,
+            "wall_seconds": round(grp_wall, 4),
+            "restore_reuses": m_grp.counters.get(
+                "inject.restore_reuses", 0
+            ),
+            "scan_skips": m_grp.counters.get("inject.scan_skips", 0),
+            "scan_cycles": m_grp.counters.get("inject.scan_cycles", 0),
+        },
+        "wall_speedup": round(speedup, 2),
+        "arena": arena,
+        "note": (
+            "end-to-end wall clock per leg: golden simulation, "
+            "first-effect scan, and all faulty replays included; "
+            "classifications bit-identical between legs"
+        ),
+    }
+
+
+def _golden_cache_probe(spec, workers: int = 1) -> dict:
+    """Cold-then-warm campaign against a fresh golden-prefix cache.
+
+    The cold run must simulate and store the golden prefix; the warm
+    run must load it — zero golden cycles simulated — and reproduce the
+    cold stats bit-exactly.
+    """
+    from dataclasses import replace
+
+    from repro.inject import run_injection
+    from repro.inject import campaign as campaign_mod
+    from repro.telemetry import TELEMETRY
+
+    s = replace(spec, golden_cache=True)
+    saved = os.environ.get("REPRO_CACHE_DIR")
+    with tempfile.TemporaryDirectory() as cache:
+        os.environ["REPRO_CACHE_DIR"] = cache
+        TELEMETRY.enable()
+        try:
+            campaign_mod._INJECT.clear()
+            with TELEMETRY.collect() as cold:
+                cold_stats = run_injection(
+                    s, workers=workers, checkpoint=False
+                )
+            campaign_mod._INJECT.clear()
+            with TELEMETRY.collect() as warm:
+                warm_stats = run_injection(
+                    s, workers=workers, checkpoint=False
+                )
+        finally:
+            TELEMETRY.disable()
+            TELEMETRY.reset()
+            campaign_mod._INJECT.clear()
+            if saved is None:
+                os.environ.pop("REPRO_CACHE_DIR", None)
+            else:
+                os.environ["REPRO_CACHE_DIR"] = saved
+    if warm_stats != cold_stats:
+        raise AssertionError(
+            "warm golden-cache campaign stats differ from cold"
+        )
+    cold_golden = cold.counters.get("inject.golden_sim_cycles", 0)
+    warm_golden = warm.counters.get("inject.golden_sim_cycles", 0)
+    hits = warm.counters.get("inject.golden_cache_hits", 0)
+    if not cold_golden:
+        raise AssertionError("cold run did not simulate a golden prefix")
+    if cold.counters.get("inject.golden_cache_hits", 0):
+        raise AssertionError("cold run hit a supposedly empty cache")
+    if warm_golden:
+        raise AssertionError(
+            f"warm golden-cache run simulated {warm_golden} golden "
+            f"cycles (expected 0)"
+        )
+    if not hits:
+        raise AssertionError("warm run did not hit the golden cache")
+    return {
+        "cold_golden_cycles": cold_golden,
+        "warm_golden_cycles": warm_golden,
+        "warm_cache_hits": hits,
+        "agreement": "warm stats bit-identical to cold",
+    }
+
+
+def _peak_rss_kb() -> int:
+    """Peak resident set of this process and its workers, in KiB."""
+    import resource
+
+    return max(
+        resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+        resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss,
+    )
+
+
 def measure(n_faults: int = 128, workers: int = 4, seed: int = 0,
             n_instructions: int = 2000) -> dict:
     """Run the masking validation and record outcome distributions."""
@@ -205,6 +390,8 @@ def measure(n_faults: int = 128, workers: int = 4, seed: int = 0,
     _assert_invariance(spec, workers)
     _assert_fork_equivalence(spec)
     suffix = _measure_suffix_replay(spec, workers)
+    grouped = _measure_grouped_replay(spec, workers)
+    cache = _golden_cache_probe(spec)
 
     deg, full = val["degraded"], val["full"]
     host_cpus = os.cpu_count() or 1
@@ -226,10 +413,13 @@ def measure(n_faults: int = 128, workers: int = 4, seed: int = 0,
         "full_sdc_rate": round(full.rate("sdc"), 4),
         "masking": "100% masked in mapped-out blocks",
         "agreement": (
-            "bit-exact across workers/chunking/resume and fork "
-            "vs from-scratch"
+            "bit-exact across workers/chunking/resume and grouped/"
+            "ungrouped/unscanned fork vs from-scratch"
         ),
         "suffix_replay": suffix,
+        "grouped_replay": grouped,
+        "golden_cache": cache,
+        "peak_rss_kb": _peak_rss_kb(),
     }
 
 
@@ -243,15 +433,19 @@ def check(workers: int = 2) -> None:
     _assert_invariance(spec, workers)
     _assert_fork_equivalence(spec)
     suffix = _measure_suffix_replay(spec, workers=1)
+    cache = _golden_cache_probe(spec)
     deg, full = val["degraded"], val["full"]
     print(
         "inject check OK: "
         f"degraded {deg.outcomes['masked']}/{deg.n} masked, "
         f"full core outcomes {full.outcomes}, "
         f"{workers}-worker/resume runs bit-identical to serial, "
-        f"fork == scratch at 2 checkpoint intervals, "
+        f"grouped == ungrouped == unscanned == scratch at 2 "
+        f"checkpoint intervals, "
         f"{suffix['cycles_simulated']['ratio']}x fewer simulated cycles "
-        f"({suffix['early_exits']} early exits)"
+        f"({suffix['early_exits']} early exits), "
+        f"warm golden cache: {cache['warm_cache_hits']} hits / "
+        f"{cache['warm_golden_cycles']} golden cycles simulated"
     )
 
 

@@ -43,6 +43,16 @@ if "repro" not in sys.modules:  # script mode: make src/ importable
 RESULT_PATH = _REPO_ROOT / "BENCH_runner.json"
 
 
+def _peak_rss_kb() -> int:
+    """Peak resident set of this process and its workers, in KiB."""
+    import resource
+
+    return max(
+        resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+        resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss,
+    )
+
+
 def _run(spec, workers: int):
     from repro.runner import run_isolation
 
@@ -102,6 +112,7 @@ def measure(n_faults: int = 6000, workers: int = 4, seed: int = 1,
             else (round(serial_s / parallel_s, 2) if parallel_s else None)
         ),
         "agreement": "bit-exact",
+        "peak_rss_kb": _peak_rss_kb(),
         "note": (
             "single-core host: the parallel run demonstrates bit-exact "
             "merge equivalence and bounds pool overhead; speedup is not "

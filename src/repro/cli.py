@@ -329,6 +329,9 @@ def _cmd_inject(args: argparse.Namespace) -> int:
         exemplar_cap=args.exemplars,
         sampling=args.sampling,
         profile_stride=args.profile_stride,
+        grouped=not args.no_group,
+        snapshot_budget=args.snapshot_budget,
+        golden_cache=args.golden_cache,
     )
     stats = run_injection(
         spec,
@@ -374,6 +377,7 @@ def _decide_spec(args: argparse.Namespace):
         growth=args.growth / 100,
         stagnation_node_nm=float(args.stagnation),
         chunk_size=args.chunk_size or 1,
+        golden_cache=getattr(args, "golden_cache", False),
     )
 
 
@@ -607,6 +611,18 @@ def build_parser() -> argparse.ArgumentParser:
                    help="use the from-scratch reference path instead of "
                         "checkpointed suffix replay (same classifications, "
                         "more simulated cycles)")
+    p.add_argument("--no-group", action="store_true",
+                   help="restore a fresh core for every fault instead of "
+                        "reusing one warm core per checkpoint group "
+                        "(same classifications, more restore work)")
+    p.add_argument("--snapshot-budget", type=int, default=0,
+                   help="hard ceiling in bytes on the compressed snapshot "
+                        "arena; over budget, every other checkpoint is "
+                        "dropped (0 = unbounded)")
+    p.add_argument("--golden-cache", action="store_true",
+                   help="persist the golden prefix (log, checkpoints, "
+                        "profile) to the cache dir and reuse it on "
+                        "matching reruns")
     p.add_argument("--summary-only", action="store_true",
                    help="keep outcome counts + bounded exemplar records "
                         "instead of every per-fault record")
@@ -712,6 +728,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--inject-instructions", type=int, default=1500)
     p.add_argument("--faults", type=int, default=64,
                    help="fault injections on the full core (default 64)")
+    p.add_argument("--golden-cache", action="store_true",
+                   help="persist the injection phase's golden prefix to "
+                        "the cache dir and reuse it on matching reruns")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--node", type=float, default=32.0,
                    help="technology node in nm (default 32)")

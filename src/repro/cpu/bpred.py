@@ -146,10 +146,25 @@ class FrontendPredictor:
         self.ras = ReturnAddressStack(params.ras_entries)
         self.lookups = 0
         self.mispredicts = 0
+        # (bimodal, gshare, chooser, btb-set) dirty-index sets, or None.
+        # Installed by track_dirty() so rearm() can undo a run by
+        # reverting only the trained entries.
+        self._dirty = None
 
     def predict_and_update(self, pc: int, taken: bool, target: int) -> bool:
         """One fetch-time prediction + training step; True = mispredicted."""
         self.lookups += 1
+        d = self._dirty
+        if d is not None:
+            # Indices computed with the *pre-update* history, matching
+            # what update() trains; the chooser index is recorded even
+            # when the chooser is not trained (a superset is safe).
+            h = self.hybrid
+            line = pc >> 2
+            d[0].add(line & h.bim_mask)
+            d[1].add((line ^ h.history) & h.gsh_mask)
+            d[2].add(line & h.cho_mask)
+            d[3].add(line % self.btb.sets)
         pred_taken = self.hybrid.predict(pc)
         pred_target = self.btb.lookup(pc)
         wrong = pred_taken != taken
@@ -196,6 +211,39 @@ class FrontendPredictor:
         self.hybrid.chooser = list(snap["chooser"])
         self.hybrid.history = snap["history"]
         self.btb.table = [list(ways) for ways in snap["btb"]]
+        self.ras.stack = list(snap["ras"])
+        self.lookups = snap["lookups"]
+        self.mispredicts = snap["mispredicts"]
+        if self._dirty is not None:
+            for s in self._dirty:
+                s.clear()
+
+    def track_dirty(self) -> None:
+        """Start recording trained indices (enables :meth:`rearm`)."""
+        self._dirty = (set(), set(), set(), set())
+
+    def rearm(self, snap: dict) -> None:
+        """Undo everything since a tracked :meth:`restore` of ``snap``.
+
+        Reverts only dirty table entries plus the scalars; untouched
+        entries are provably unchanged since the restore.
+        """
+        bim, gsh, cho, btbd = self._dirty
+        h = self.hybrid
+        sb, sg, sc = snap["bimodal"], snap["gshare"], snap["chooser"]
+        for i in bim:
+            h.bimodal[i] = sb[i]
+        for i in gsh:
+            h.gshare[i] = sg[i]
+        for i in cho:
+            h.chooser[i] = sc[i]
+        stable = snap["btb"]
+        table = self.btb.table
+        for i in btbd:
+            table[i] = list(stable[i])
+        for s in self._dirty:
+            s.clear()
+        h.history = snap["history"]
         self.ras.stack = list(snap["ras"])
         self.lookups = snap["lookups"]
         self.mispredicts = snap["mispredicts"]

@@ -30,12 +30,19 @@ class Cache:
         self.tags: List[List[int]] = [[] for _ in range(self.sets)]
         self.hits = 0
         self.misses = 0
+        # When a set() is installed (track_dirty), every touched set
+        # index is recorded so rearm() can undo a run in O(dirty sets)
+        # instead of rebuilding all self.sets lists.
+        self.dirty = None
 
     def access(self, addr: int) -> bool:
         """Touch ``addr``; returns True on hit.  Misses allocate."""
         line = addr // self.block
         idx = line % self.sets
         tag = line // self.sets
+        d = self.dirty
+        if d is not None:
+            d.add(idx)
         ways = self.tags[idx]
         for i, t in enumerate(ways):
             if t == tag:
@@ -53,6 +60,9 @@ class Cache:
         line = addr // self.block
         idx = line % self.sets
         tag = line // self.sets
+        d = self.dirty
+        if d is not None:
+            d.add(idx)
         ways = self.tags[idx]
         for i, t in enumerate(ways):
             if t == tag:
@@ -79,6 +89,27 @@ class Cache:
     def restore(self, snap: dict) -> None:
         """Load a :meth:`snapshot` back (LRU order preserved)."""
         self.tags = [list(ways) for ways in snap["tags"]]
+        self.hits = snap["hits"]
+        self.misses = snap["misses"]
+        if self.dirty is not None:
+            self.dirty.clear()
+
+    def track_dirty(self) -> None:
+        """Start recording touched set indices (enables :meth:`rearm`)."""
+        self.dirty = set()
+
+    def rearm(self, snap: dict) -> None:
+        """Undo everything since a tracked :meth:`restore` of ``snap``.
+
+        Only valid when the cache was restored from exactly this
+        snapshot with tracking on; touched sets revert, untouched sets
+        are provably already equal.
+        """
+        tags = self.tags
+        snap_tags = snap["tags"]
+        for idx in self.dirty:
+            tags[idx] = list(snap_tags[idx])
+        self.dirty.clear()
         self.hits = snap["hits"]
         self.misses = snap["misses"]
 
@@ -134,3 +165,13 @@ class MemoryHierarchy:
         """Load a :meth:`snapshot` back into both levels."""
         self.l1d.restore(snap["l1d"])
         self.l2.restore(snap["l2"])
+
+    def track_dirty(self) -> None:
+        """Enable O(dirty) :meth:`rearm` on both levels."""
+        self.l1d.track_dirty()
+        self.l2.track_dirty()
+
+    def rearm(self, snap: dict) -> None:
+        """Revert both levels to ``snap`` by undoing dirty sets only."""
+        self.l1d.rearm(snap["l1d"])
+        self.l2.rearm(snap["l2"])

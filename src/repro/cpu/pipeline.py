@@ -570,17 +570,11 @@ class Core:
             "arch": self.arch.capture() if self.arch is not None else None,
         }
 
-    def restore(self, snap: dict, trace) -> None:
-        """Load a :meth:`snapshot` and resume from its cycle.
+    def _load_containers(self, snap: dict, trace) -> None:
+        """Shared restore/rearm step: scalars + bounded containers.
 
-        ``trace`` must be the same trace *list* the snapshotted run was
-        fed (``Instr.seq`` equals the list index, which is how in-flight
-        instructions are resolved).  The deterministic-resume contract:
-        a restored run continues bit-identically to the uninterrupted
-        one — same commit log, digest, cycle count, and statistics.
-        The attached ``arch`` observer (if any) is loaded in place, so a
-        faulty observer keeps its fault spec while inheriting golden
-        machine state.
+        Everything here is small (ROB/IQ/LSQ-bounded), so rebuilding it
+        from the snapshot is already O(machine width), not O(trace).
         """
         def resolve(seq: int, pc: int) -> Instr:
             instr = trace[seq]
@@ -615,8 +609,6 @@ class Core:
         self.opt_done = dict(snap["opt_done"])
         self.act_done = dict(snap["act_done"])
         self.pending_fixes = list(snap["pending_fixes"])
-        self.predictor.restore(snap["predictor"])
-        self.mem.restore(snap["caches"])
         (
             self.replays, self.load_squashes, self.issued_total,
             self.iq_occupancy_sum, self.stall_rob_full,
@@ -624,5 +616,48 @@ class Core:
             self.fetch_redirect_cycles, self.fetch_stall_cycles,
             self.fetch_backpressure_cycles,
         ) = snap["stats"]
+
+    def restore(self, snap: dict, trace, track: bool = False) -> None:
+        """Load a :meth:`snapshot` and resume from its cycle.
+
+        ``trace`` must be the same trace *list* the snapshotted run was
+        fed (``Instr.seq`` equals the list index, which is how in-flight
+        instructions are resolved).  The deterministic-resume contract:
+        a restored run continues bit-identically to the uninterrupted
+        one — same commit log, digest, cycle count, and statistics.
+        The attached ``arch`` observer (if any) is loaded in place, so a
+        faulty observer keeps its fault spec while inheriting golden
+        machine state.
+
+        ``track=True`` additionally enables dirty journaling in the
+        predictor, caches, and value layer, so the machine can later be
+        reset back to this snapshot with :meth:`rearm` in O(dirty).
+        """
+        self._load_containers(snap, trace)
+        self.predictor.restore(snap["predictor"])
+        self.mem.restore(snap["caches"])
         if self.arch is not None and snap["arch"] is not None:
             self.arch.load(snap["arch"])
+        if track:
+            self.predictor.track_dirty()
+            self.mem.track_dirty()
+            if self.arch is not None:
+                self.arch.track_dirty()
+
+    def rearm(self, snap: dict, trace) -> None:
+        """Reset back to ``snap`` in O(dirty) after a tracked run.
+
+        Only valid when the machine previously ran from
+        ``restore(snap, trace, track=True)`` (or a prior ``rearm`` of
+        the same snapshot): the predictor/cache/value-layer journals
+        then hold exactly the entries that diverged, and everything else
+        is bounded and rebuilds from the snapshot.  After rearm the
+        machine is bit-identical to one freshly restored from ``snap``
+        (asserted by the grouped-replay tests), at a fraction of the
+        deserialize cost.
+        """
+        self._load_containers(snap, trace)
+        self.predictor.rearm(snap["predictor"])
+        self.mem.rearm(snap["caches"])
+        if self.arch is not None and snap["arch"] is not None:
+            self.arch.rearm(snap["arch"])

@@ -71,6 +71,10 @@ class DecideSpec:
     inject_seed: int = 0
     inject_chunk: int = 8
     checkpoint_interval: int = 128
+    # Persistent golden-prefix cache for the embedded injection phase:
+    # every decide run re-runs injection, so a warm cache skips its
+    # golden simulation in every worker.
+    golden_cache: bool = False
     # Yield scenario for the YAT and area objectives.
     node_nm: float = 32.0
     growth: float = 0.3
@@ -94,6 +98,7 @@ def injection_spec(spec: DecideSpec) -> InjectionSpec:
         chunk_size=spec.inject_chunk,
         checkpoint_interval=spec.checkpoint_interval,
         keep_records=False,
+        golden_cache=spec.golden_cache,
     )
 
 

@@ -29,9 +29,14 @@ outcome (DAVOS-style simulation-based injection, ITHICA's taxonomy):
 - :mod:`repro.inject.profiler` — per-site occupancy profiling of the
   golden run (``--profile`` reports, residency-weighted sampling),
 - :mod:`repro.inject.harness` — golden/faulty paired execution and
-  outcome classification, with checkpointed suffix replay and a
+  outcome classification, with checkpointed suffix replay, a
   reconvergence early-exit (``fork=False`` keeps the from-scratch
-  reference path; classifications are bit-identical),
+  reference path; classifications are bit-identical), and warm-core
+  group replay (:class:`ReplaySession`),
+- :mod:`repro.inject.arena` — the delta-compressed, budget-bounded
+  snapshot arena backing the golden checkpoint stream,
+- :mod:`repro.inject.goldencache` — the persistent golden-prefix cache
+  under ``REPRO_CACHE_DIR`` (warm campaigns skip golden simulation),
 - :mod:`repro.inject.campaign` — sharded, checkpointable campaigns with
   worker-count-invariant merged :class:`InjectionStats`, including the
   degraded-mode masking validation.
@@ -43,14 +48,26 @@ from repro.inject.sites import (
     mapped_out_blocks,
     site_inert,
 )
+from repro.inject.arena import SnapshotArena
+from repro.inject.goldencache import (
+    GOLDEN_CACHE_VERSION,
+    golden_cache_path,
+    golden_key,
+    load_golden,
+    store_golden,
+)
 from repro.inject.models import FaultSpec, FaultyArchState, sample_faults
 from repro.inject.profiler import SiteProfile
 from repro.inject.harness import (
+    FirstEffect,
     GoldenRun,
     InjectionResult,
+    ReplaySession,
+    first_effect_scan,
     hang_budget,
     run_golden,
     run_with_fault,
+    synth_never_result,
 )
 from repro.inject.campaign import (
     InjectionSpec,
@@ -63,14 +80,22 @@ from repro.inject.campaign import (
 __all__ = [
     "FaultSpec",
     "FaultyArchState",
+    "FirstEffect",
+    "GOLDEN_CACHE_VERSION",
     "GoldenRun",
     "InjectionResult",
     "InjectionSpec",
     "InjectionStats",
+    "ReplaySession",
     "Site",
     "SiteProfile",
+    "SnapshotArena",
     "enumerate_sites",
+    "first_effect_scan",
+    "golden_cache_path",
+    "golden_key",
     "hang_budget",
+    "load_golden",
     "mapped_out_blocks",
     "masking_validation",
     "prepare_injection",
@@ -79,4 +104,5 @@ __all__ = [
     "run_with_fault",
     "sample_faults",
     "site_inert",
+    "synth_never_result",
 ]

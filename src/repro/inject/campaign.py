@@ -58,6 +58,20 @@ class InjectionSpec:
     # profiled during the golden run).
     sampling: str = "uniform"
     profile_stride: int = 16
+    # Checkpoint-grouped warm-core replay: shard faults sharing a fork
+    # checkpoint run on one restored core (O(dirty) rearm between
+    # faults).  Results are bit-identical with grouping on or off.
+    grouped: bool = True
+    # Compressed-byte ceiling on the golden snapshot arena (0 = none).
+    snapshot_budget: int = 0
+    # Persistent golden-prefix cache under REPRO_CACHE_DIR: warm
+    # campaigns skip golden simulation entirely.
+    golden_cache: bool = False
+    # Sticky-fault first-effect scan: one extra golden-trajectory replay
+    # licenses checkpoint forking (or a zero-cost masked verdict) for
+    # cycle-0 stuck-ats.  Results are bit-identical with it on or off;
+    # False restores the PR 6 replay-from-scratch behavior.
+    first_effect: bool = True
 
 
 @dataclass
@@ -245,6 +259,9 @@ def _build_config(spec: InjectionSpec):
 def _inject_init(spec: InjectionSpec) -> None:
     if _INJECT.get("spec") == spec and "golden" in _INJECT:
         return
+    from repro.inject.goldencache import (
+        golden_key, load_golden, store_golden,
+    )
     from repro.inject.harness import run_golden
     from repro.inject.models import sample_faults
     from repro.inject.sites import enumerate_sites, sites_in_blocks
@@ -255,15 +272,29 @@ def _inject_init(spec: InjectionSpec) -> None:
     trace = generate_trace(
         profile(spec.benchmark), spec.n_instructions, seed=spec.trace_seed
     )
-    golden = run_golden(
-        config,
-        trace,
-        spec.n_instructions,
-        checkpoint_interval=spec.checkpoint_interval if spec.fork else 0,
-        profile_stride=(
-            spec.profile_stride if spec.sampling == "weighted" else 0
-        ),
-    )
+    interval = spec.checkpoint_interval if spec.fork else 0
+    stride = spec.profile_stride if spec.sampling == "weighted" else 0
+    golden = None
+    key = None
+    if spec.golden_cache:
+        key = golden_key(
+            spec.benchmark, spec.n_instructions, spec.trace_seed,
+            spec.counts, interval, stride, spec.snapshot_budget,
+        )
+        golden = load_golden(config, trace, spec.n_instructions, key)
+        if golden is not None:
+            TELEMETRY.count("inject.golden_cache_hits")
+    if golden is None:
+        golden = run_golden(
+            config,
+            trace,
+            spec.n_instructions,
+            checkpoint_interval=interval,
+            profile_stride=stride,
+            snapshot_budget=spec.snapshot_budget,
+        )
+        if spec.golden_cache:
+            store_golden(golden, key)
     sites = enumerate_sites(config)
     if spec.blocks is not None:
         sites = sites_in_blocks(sites, spec.blocks)
@@ -271,23 +302,127 @@ def _inject_init(spec: InjectionSpec) -> None:
         sites, spec.n_faults, spec.seed, spec.model, config,
         golden.cycles, mode=spec.sampling, profile=golden.profile,
     )
+    first_effect: Dict[int, object] = {}
+    if spec.fork and spec.first_effect:
+        from repro.inject.harness import first_effect_scan
+
+        first_effect = first_effect_scan(golden, faults)
     _INJECT.clear()
-    _INJECT.update(spec=spec, golden=golden, faults=faults)
+    _INJECT.update(
+        spec=spec, golden=golden, faults=faults,
+        first_effect=first_effect,
+    )
 
 
 def _inject_worker(span: Tuple[int, int]) -> Dict:
-    from repro.inject.harness import run_with_fault
+    """Classify one contiguous fault span; returns shard JSON.
+
+    With ``spec.fork``, each fault's fork point comes from a shared
+    plan: transients fork at the newest checkpoint at or before their
+    activation cycle, sticky faults at the checkpoint licensed by the
+    first-effect scan — or are synthesized outright
+    (:func:`~repro.inject.harness.synth_never_result`) when the scan
+    proved their forcing never bites.  With ``spec.grouped`` the
+    shard's remaining faults are grouped by fork checkpoint — a stable
+    sort, so original order is preserved within each group — and every
+    multi-fault group runs on one warm
+    :class:`~repro.inject.harness.ReplaySession` core, re-armed in
+    place between faults (singleton groups take a plain restore and
+    skip the dirty-tracking overhead).  Results are then folded into
+    the stats in the original fault order, so shard payloads (records,
+    exemplars, per-block counts) are bit-identical to the ungrouped
+    path for any worker count or chunking.  The grouping telemetry
+    (``inject.restore_reuses`` / ``inject.group_sizes``) is a
+    scheduling metric: it depends on how faults land in shards and is
+    *not* part of the worker-count-invariant deterministic view.
+    """
+    from repro.inject.harness import (
+        ReplaySession, run_with_fault, synth_never_result,
+    )
 
     start, stop = span
     spec = _INJECT["spec"]
     golden = _INJECT["golden"]
+    faults = _INJECT["faults"][start:stop]
+    scan = _INJECT.get("first_effect") or {}
     stats = InjectionStats(
         keep_records=spec.keep_records, exemplar_cap=spec.exemplar_cap
     )
     t = TELEMETRY
-    for fault in _INJECT["faults"][start:stop]:
-        with t.span("inject.run"):
-            result = run_with_fault(golden, fault, fork=spec.fork)
+    results: List = [None] * len(faults)
+    # Per-fault fork plan (identical for the grouped and ungrouped
+    # paths, so their per-fault telemetry merges to the same values):
+    # fork_idx = arena index (None: from cycle 0), prearm = sticky
+    # arming bookkeeping to restore on the forked core, or a
+    # synthesized masked verdict for never-biting sticky faults.
+    fork_idx: List[Optional[int]] = [None] * len(faults)
+    prearm: List[Optional[tuple]] = [None] * len(faults)
+    synth = [False] * len(faults)
+    if spec.fork:
+        for i, fault in enumerate(faults):
+            fe = scan.get(start + i)
+            if fe is None:
+                fork_idx[i] = golden.fork_index(fault.cycle)
+            elif fe.first is None:
+                synth[i] = True
+                results[i] = synth_never_result(golden, fe)
+                if t.enabled:
+                    t.count("inject.scan_skips")
+                    t.count("inject.cycles_saved", golden.cycles)
+            else:
+                k = golden.fork_index(fe.first)
+                fork_idx[i] = k
+                if k is not None:
+                    prearm[i] = fe.prearm(golden.arena.cycle_of(k))
+    grouped = (
+        spec.grouped
+        and spec.fork
+        and golden.arena is not None
+        and len(golden.arena) > 0
+    )
+    if grouped:
+        todo = [i for i in range(len(faults)) if not synth[i]]
+        order = sorted(
+            todo,
+            key=lambda i: -1 if fork_idx[i] is None else fork_idx[i],
+        )
+        group_n = {
+            k: sum(1 for i in todo if fork_idx[i] == k)
+            for k in set(fork_idx[i] for i in todo)
+        }
+        if t.enabled:
+            for k, n in sorted(
+                group_n.items(), key=lambda kv: (kv[0] is None, kv[0])
+            ):
+                if k is not None:
+                    t.observe("inject.group_sizes", n)
+        session: Optional[ReplaySession] = None
+        for i in order:
+            fault = faults[i]
+            k = fork_idx[i]
+            with t.span("inject.run"):
+                if k is None or group_n[k] == 1:
+                    # No checkpoint (plain from-cycle-0 run) or a
+                    # singleton group: a one-shot restore without
+                    # dirty-tracking overhead beats a session.
+                    results[i] = run_with_fault(
+                        golden, fault, fork=True,
+                        fork_index=k, prearm=prearm[i],
+                    )
+                else:
+                    if session is None or session.index != k:
+                        session = ReplaySession(golden, k)
+                    results[i] = session.run(fault, prearm=prearm[i])
+    else:
+        for i, fault in enumerate(faults):
+            if synth[i]:
+                continue
+            with t.span("inject.run"):
+                results[i] = run_with_fault(
+                    golden, fault, fork=spec.fork,
+                    fork_index=fork_idx[i], prearm=prearm[i],
+                )
+    for fault, result in zip(faults, results):
         stats.add(fault, result)
         if t.enabled:
             t.count("inject.runs")

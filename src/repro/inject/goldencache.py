@@ -1,0 +1,138 @@
+"""Persistent golden-prefix cache.
+
+Every injection campaign begins with the same expensive step: simulate
+the fault-free run to produce the commit log, checkpoint arena, and
+cycle/commit totals.  That result is a pure function of (workload,
+instruction count, machine configuration, checkpoint interval, profile
+stride, snapshot budget) — so repeated campaigns over the same golden
+inputs (every ``repro decide`` run re-runs injection; every cold worker
+process of an un-``prepare``-d campaign re-simulates) can skip golden
+simulation entirely by memoizing it on disk.
+
+Cache files live beside the shard checkpoints under
+:func:`~repro.runner.store.default_cache_root` (``REPRO_CACHE_DIR``),
+one pickle per key: ``golden-<key>.pkl``.  The key is a
+:func:`~repro.runner.store.config_hash` over the golden-determining
+parameters plus :data:`GOLDEN_CACHE_VERSION`; bump the version whenever
+the simulator's golden semantics change (commit log format, snapshot
+layout, value semantics) so stale caches are never read.  Writes are
+atomic (``tmp`` + ``os.replace``): concurrent campaigns racing on a
+cold cache each write their own tmp file and the last rename wins with
+identical contents.
+
+The payload stores only what the caller cannot rebuild: the commit
+log, totals, digest, the compressed :class:`SnapshotArena`, and the
+site profile.  Config and trace are cheap to reconstruct and are
+re-attached on load, which keeps the file self-validating — a payload
+whose totals do not match the requesting campaign is treated as a
+miss.  Convergence views are derived data and rebuild lazily.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from pathlib import Path
+from typing import Optional
+
+from repro.runner.store import config_hash, default_cache_root
+
+#: Bump when golden-run semantics or the payload layout change.
+GOLDEN_CACHE_VERSION = 1
+
+
+def golden_key(
+    benchmark: str,
+    n_instructions: int,
+    trace_seed: int,
+    counts,
+    checkpoint_interval: int,
+    profile_stride: int,
+    snapshot_budget: int,
+) -> str:
+    """Cache key over everything that determines the golden result."""
+    return config_hash(
+        {
+            "golden_version": GOLDEN_CACHE_VERSION,
+            "benchmark": benchmark,
+            "n_instructions": n_instructions,
+            "trace_seed": trace_seed,
+            "counts": list(counts),
+            "checkpoint_interval": checkpoint_interval,
+            "profile_stride": profile_stride,
+            "snapshot_budget": snapshot_budget,
+        }
+    )
+
+
+def golden_cache_path(key: str, root: Optional[Path] = None) -> Path:
+    """On-disk location of the cache entry for ``key``."""
+    base = Path(root) if root is not None else default_cache_root()
+    return base / f"golden-{key}.pkl"
+
+
+def load_golden(
+    config, trace, n_instructions: int, key: str,
+    root: Optional[Path] = None,
+):
+    """Cached :class:`~repro.inject.harness.GoldenRun` or None.
+
+    Any read/unpickle failure, version skew, or total mismatch is a
+    miss — the caller re-simulates and overwrites the entry.
+    """
+    from repro.inject.harness import GoldenRun
+
+    path = golden_cache_path(key, root)
+    try:
+        payload = pickle.loads(path.read_bytes())
+    except Exception:
+        return None
+    if (
+        not isinstance(payload, dict)
+        or payload.get("version") != GOLDEN_CACHE_VERSION
+        or payload.get("commits") != n_instructions
+    ):
+        return None
+    return GoldenRun(
+        config=config,
+        trace=trace,
+        n_instructions=n_instructions,
+        log=payload["log"],
+        cycles=payload["cycles"],
+        commits=payload["commits"],
+        digest=payload["digest"],
+        arena=payload["arena"],
+        checkpoint_interval=payload["checkpoint_interval"],
+        profile=payload["profile"],
+    )
+
+
+def store_golden(golden, key: str, root: Optional[Path] = None) -> None:
+    """Atomically persist one golden run under ``key``.
+
+    Best-effort: an unwritable cache directory degrades to a no-op (the
+    campaign simply stays cold), never to a failed campaign.
+    """
+    path = golden_cache_path(key, root)
+    payload = {
+        "version": GOLDEN_CACHE_VERSION,
+        "log": golden.log,
+        "cycles": golden.cycles,
+        "commits": golden.commits,
+        "digest": golden.digest,
+        "arena": golden.arena,
+        "checkpoint_interval": golden.checkpoint_interval,
+        "profile": golden.profile,
+    }
+    tmp = path.with_suffix(f".tmp.{os.getpid()}")
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp.write_bytes(
+            pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        )
+        os.replace(tmp, path)
+    except OSError:
+        try:
+            tmp.unlink()
+        except OSError:
+            pass

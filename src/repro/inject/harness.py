@@ -24,8 +24,9 @@ optimizations make it O(suffix), both behind the ``fork=True`` seam of
 
 1. **Checkpointed fork** — ``run_golden`` snapshots the machine every
    ``checkpoint_interval`` cycles (:meth:`~repro.cpu.pipeline.Core.
-   snapshot` at the top-of-cycle hook).  A faulty run restores the
-   newest checkpoint at or before the fault's activation cycle and
+   snapshot` at the top-of-cycle hook) into a delta-compressed
+   :class:`~repro.inject.arena.SnapshotArena`.  A faulty run restores
+   the newest checkpoint at or before the fault's activation cycle and
    simulates only the suffix.  Until activation the faulty run is
    bit-identical to golden (the fault layer is observation-only while
    inactive), so the skipped prefix provably changes nothing.
@@ -56,6 +57,58 @@ firing at cycle ``c`` gets ``golden + (golden - c) + slack`` cycles
 campaign's cycle-0 stuck-ats reduces to the classic ``2 x golden +
 slack``.  The budget depends only on the fault, never on the fork seam,
 so hang records stay bit-identical between paths.
+
+Warm-core group replay
+----------------------
+
+:class:`ReplaySession` amortizes the per-fault restore itself: the
+campaign layer groups faults sharing a fork checkpoint, the session
+restores that checkpoint once with dirty tracking enabled
+(``Core.restore(..., track=True)``), and every subsequent fault in the
+group re-arms the same live core via :meth:`~repro.cpu.pipeline.Core.
+rearm` — an O(dirty) in-place undo instead of a fresh deserialize.
+Classifications are bit-identical to per-fault forking (rearm restores
+the machine to exactly the snapshot; asserted by the grouped-replay
+property tests and the ``bench_inject.py --check`` gate).
+
+Sticky-fault first-effect forking
+---------------------------------
+
+Cycle-0 stuck-ats cannot fork on their activation cycle — there is no
+checkpoint at or before 0 — so PR 6 replayed every one from scratch,
+and they dominated campaign cost.  :func:`first_effect_scan` removes
+that wall: one extra fault-free replay of the golden trajectory
+evaluates, at the top of every cycle, whether each sticky fault's
+forcing *would change machine state right now*.  Until that first
+cycle the forcing is a no-op, so by induction the faulty machine is
+bit-identical to golden through the whole prefix — the fault may fork
+from any checkpoint at or before its first-effect cycle, and a fault
+whose forcing never bites *is* the golden run (``masked``, zero faulty
+cycles, synthesized by :func:`synth_never_result`).  Arming bookkeeping
+is restored exactly (:meth:`FaultyArchState.prearm_sticky`): a
+non-fetch sticky fault arms unconditionally at cycle 0, so the forked
+run pre-arms with ``armed_cycle = armed_commits = 0``; a fetch fault
+arms at its first fetch through the faulted way, which the scan
+observes (:class:`FirstEffect.armed_cycle`) — either way detection
+latencies / corruption distances stay bit-identical to from-scratch.
+
+Two refinements keep the scan's conservatism from costing replay:
+
+- **Register liveness** — forcing a physical register that is on the
+  free list, or allocated but referenced by no in-flight rename record
+  (neither a destination nor a captured source), changes a value that
+  can never reach a future read before it is overwritten at
+  reallocation.  This is the same dead-cell argument that licenses
+  :func:`_live_view`'s register projection, so such cycles do not
+  count as first effects.  Without it, every stuck-at on a cold
+  register file (FP under an integer workload) replays the full trace.
+- **Fetch scanning** — the scan's probe also watches ``on_fetch``:
+  a fetch stuck-at first *affects* the machine on the first cycle its
+  forced PC bit actually changes a PC fetched through its way, which
+  is often never (high PC bits are constant across a trace).
+
+The scan costs one golden-length simulation amortized over every
+sticky fault in the campaign.
 """
 
 from __future__ import annotations
@@ -67,6 +120,7 @@ from repro.cpu.archstate import ArchState
 from repro.cpu.isa import Instr
 from repro.cpu.params import MachineConfig
 from repro.cpu.pipeline import Core
+from repro.inject.arena import SnapshotArena
 from repro.inject.models import FaultSpec, FaultyArchState
 from repro.inject.profiler import SiteProfile
 from repro.inject.sites import site_inert
@@ -102,9 +156,9 @@ class GoldenRun:
     cycles: int
     commits: int
     digest: int
-    #: (cycle, Core.snapshot()) pairs at checkpoint boundaries, ascending.
-    checkpoints: List[Tuple[int, dict]] = field(
-        default_factory=list, repr=False, compare=False
+    #: Delta-compressed checkpoint store (None: no checkpoints taken).
+    arena: Optional[SnapshotArena] = field(
+        default=None, repr=False, compare=False
     )
     checkpoint_interval: int = 0
     #: Optional per-site occupancy profile (``--profile`` / weighted
@@ -115,14 +169,29 @@ class GoldenRun:
         default_factory=dict, repr=False, compare=False
     )
 
+    @property
+    def checkpoints(self) -> List[Tuple[int, dict]]:
+        """All ``(cycle, snapshot)`` pairs, decoded (compat accessor).
+
+        Decodes the whole arena — prefer indexed access through
+        :attr:`arena` in hot paths.
+        """
+        if self.arena is None:
+            return []
+        return list(self.arena.items())
+
+    def fork_index(self, cycle: int) -> Optional[int]:
+        """Arena index of the newest checkpoint at or before ``cycle``."""
+        if self.arena is None or not len(self.arena):
+            return None
+        return self.arena.find(cycle)
+
     def fork_point(self, cycle: int) -> Optional[Tuple[int, dict]]:
         """Newest checkpoint at or before ``cycle`` (None: run from 0)."""
-        best = None
-        for cp_cycle, snap in self.checkpoints:
-            if cp_cycle > cycle:
-                break
-            best = (cp_cycle, snap)
-        return best
+        i = self.fork_index(cycle)
+        if i is None:
+            return None
+        return self.arena.cycle_of(i), self.arena.get(i)
 
 
 @dataclass
@@ -154,32 +223,35 @@ def run_golden(
     n_instructions: int,
     checkpoint_interval: int = 0,
     profile_stride: int = 0,
+    snapshot_budget: int = 0,
 ) -> GoldenRun:
     """Run the fault-free reference and record its commit stream.
 
     With ``checkpoint_interval > 0`` a machine snapshot is taken at
     every multiple of the interval (cycle 0 excluded: forking there is
-    just a from-scratch run); with ``profile_stride > 0`` a
+    just a from-scratch run) into a :class:`SnapshotArena`;
+    ``snapshot_budget > 0`` caps the arena's compressed footprint (the
+    arena thins itself to stay under it).  With ``profile_stride > 0`` a
     :class:`SiteProfile` samples occupancy alongside.  Both observe
     through the ``on_cycle`` hook, so the golden timing and commit
     stream are bit-identical to an unobserved run.
     """
     arch = ArchState(config)
     core = Core(config, iter(trace), arch=arch)
-    checkpoints: List[Tuple[int, dict]] = []
+    arena = SnapshotArena(snapshot_budget) if checkpoint_interval else None
     prof = (
         SiteProfile(config, profile_stride) if profile_stride else None
     )
     on_cycle = None
-    if checkpoint_interval or prof is not None:
+    if arena is not None or prof is not None:
         def on_cycle(c: Core) -> bool:
             cyc = c.cycle
             if (
-                checkpoint_interval
+                arena is not None
                 and cyc
                 and cyc % checkpoint_interval == 0
             ):
-                checkpoints.append((cyc, c.snapshot()))
+                arena.append(cyc, c.snapshot())
             if prof is not None and cyc % prof.stride == 0:
                 prof.observe(c)
             return False
@@ -189,11 +261,17 @@ def run_golden(
             f"golden run committed {arch.commits}/{n_instructions}"
         )
     t = TELEMETRY
-    if t.enabled and checkpoints:
-        prev = 0
-        for cp_cycle, _snap in checkpoints:
-            t.observe("inject.checkpoint_interval", cp_cycle - prev)
-            prev = cp_cycle
+    if t.enabled:
+        # Golden simulation actually happened here (a warm golden-cache
+        # hit skips this function entirely, so the counter's absence is
+        # the cache-hit signature the benchmark gate asserts).
+        t.count("inject.golden_sim_cycles", result.cycles)
+        if arena is not None and len(arena):
+            prev = 0
+            for i in range(len(arena)):
+                cp_cycle = arena.cycle_of(i)
+                t.observe("inject.checkpoint_interval", cp_cycle - prev)
+                prev = cp_cycle
     return GoldenRun(
         config=config,
         trace=trace,
@@ -202,7 +280,7 @@ def run_golden(
         cycles=result.cycles,
         commits=arch.commits,
         digest=arch.state_digest(),
-        checkpoints=checkpoints,
+        arena=arena,
         checkpoint_interval=checkpoint_interval,
         profile=prof,
     )
@@ -278,40 +356,38 @@ def _live_view(snap: dict, at_cycle: int) -> tuple:
     )
 
 
-def run_with_fault(
-    golden: GoldenRun, fault: FaultSpec, fork: bool = True
+def _execute_and_classify(
+    golden: GoldenRun,
+    fault: FaultSpec,
+    core: Core,
+    arch: FaultyArchState,
+    fork_cycle: int,
+    fork: bool,
 ) -> InjectionResult:
-    """Replay the golden trace with one fault and classify the outcome.
+    """Run a prepared faulty core to completion and classify it.
 
-    ``fork=True`` (the default) enables checkpointed suffix replay and
-    the reconvergence early-exit; ``fork=False`` is the from-scratch
-    reference path.  Both produce bit-identical classifications — the
-    compared fields of :class:`InjectionResult` — for every fault.
+    Shared by the per-fault path (:func:`run_with_fault`) and the
+    warm-core group path (:class:`ReplaySession`): the caller positions
+    the machine (fresh, restored, or re-armed) and this function owns
+    the watchdog budget, the reconvergence early-exit, telemetry, and
+    the classification ladder — so both paths are bit-identical by
+    construction.
     """
-    arch = FaultyArchState(golden.config, fault, golden_log=golden.log)
     budget = hang_budget(golden.cycles, fault)
-    fork_cycle = 0
-    cp = golden.fork_point(fault.cycle) if fork else None
-    if cp is not None:
-        fork_cycle, cp_snap = cp
-        core = Core(golden.config, iter(()), arch=arch)
-        core.restore(cp_snap, golden.trace)
-    else:
-        core = Core(golden.config, iter(golden.trace), arch=arch)
-
     early_cycle: Optional[int] = None
     on_cycle = None
     interval = golden.checkpoint_interval
+    arena = golden.arena
     if (
         fork
         and interval
-        and golden.checkpoints
+        and arena is not None
+        and len(arena)
         and (
             fault.kind == "transient"
             or site_inert(fault.site, golden.config)
         )
     ):
-        cpmap = {c: s for c, s in golden.checkpoints}
         views = golden.views
 
         def on_cycle(c: Core) -> bool:
@@ -323,15 +399,19 @@ def run_with_fault(
             # next one.
             if cyc <= fault.cycle or cyc % interval:
                 return False
-            g = cpmap.get(cyc)
-            if g is None:
+            i = arena.find(cyc)
+            if i is None:
                 return False
-            # Cheap position precheck before paying for a snapshot.
-            if c.committed != g["committed"] or c.fetched != g["fetched"]:
+            mcycle, mcommitted, mfetched = arena.meta_of(i)
+            if mcycle != cyc:
+                return False  # boundary thinned away under the budget
+            # Cheap position precheck (uncompressed metadata) before
+            # paying for a snapshot decode + comparison.
+            if c.committed != mcommitted or c.fetched != mfetched:
                 return False
             gv = views.get(cyc)
             if gv is None:
-                gv = views[cyc] = _live_view(g, cyc)
+                gv = views[cyc] = _live_view(arena.get(i), cyc)
             if _live_view(c.snapshot(), cyc) == gv:
                 early_cycle = cyc
                 return True
@@ -402,3 +482,351 @@ def run_with_fault(
     if arch.commits < golden.n_instructions:
         return _result("hang", cycles, arch.commits)
     return _result("masked", cycles, arch.commits)
+
+
+#: Sentinel for ``run_with_fault``'s default fork-point resolution.
+_AUTO = object()
+
+
+def run_with_fault(
+    golden: GoldenRun,
+    fault: FaultSpec,
+    fork: bool = True,
+    fork_index: object = _AUTO,
+    prearm: Optional[Tuple[int, int]] = None,
+) -> InjectionResult:
+    """Replay the golden trace with one fault and classify the outcome.
+
+    ``fork=True`` (the default) enables checkpointed suffix replay and
+    the reconvergence early-exit; ``fork=False`` is the from-scratch
+    reference path.  Both produce bit-identical classifications — the
+    compared fields of :class:`InjectionResult` — for every fault.
+
+    ``fork_index`` overrides the fork-point resolution (the newest
+    checkpoint at or before ``fault.cycle``) with an explicit arena
+    index, or ``None`` for from-cycle-0: the campaign layer passes the
+    checkpoint licensed by :func:`first_effect_scan` for sticky faults.
+    ``prearm=(cycle, commits)`` restores a sticky fault's arming
+    bookkeeping on the forked core (see
+    :meth:`FaultyArchState.prearm_sticky` /
+    :meth:`FirstEffect.prearm`).
+    """
+    arch = FaultyArchState(golden.config, fault, golden_log=golden.log)
+    fork_cycle = 0
+    if not fork:
+        idx = None
+    elif fork_index is _AUTO:
+        idx = golden.fork_index(fault.cycle)
+    else:
+        idx = fork_index
+    if idx is not None:
+        fork_cycle = golden.arena.cycle_of(idx)
+        core = Core(golden.config, iter(()), arch=arch)
+        core.restore(golden.arena.get(idx), golden.trace)
+        if prearm is not None:
+            arch.prearm_sticky(*prearm)
+    else:
+        core = Core(golden.config, iter(golden.trace), arch=arch)
+    return _execute_and_classify(
+        golden, fault, core, arch, fork_cycle, fork
+    )
+
+
+@dataclass(frozen=True)
+class FirstEffect:
+    """What the first-effect scan learned about one sticky fault.
+
+    ``first`` is the first golden cycle at which the fault's forcing
+    would change machine state (``None``: never — the faulty run *is*
+    the golden run).  ``armed_cycle`` / ``armed_commits`` reproduce the
+    arming bookkeeping a from-scratch run would record: ``(0, 0)`` for
+    non-fetch stickies (they arm unconditionally at cycle 0), the first
+    fetch through the faulted way for fetch stickies (``armed_cycle``
+    is ``None`` if that way never fetches).
+    """
+
+    first: Optional[int]
+    armed_cycle: Optional[int] = 0
+    armed_commits: int = 0
+
+    def prearm(self, fork_cycle: int) -> Optional[Tuple[int, int]]:
+        """Arming to pre-apply when forking at ``fork_cycle``.
+
+        ``None`` when the replayed suffix re-arms naturally (arming
+        happens at or after the fork point, so the suffix observes it).
+        """
+        if self.armed_cycle is None or self.armed_cycle >= fork_cycle:
+            return None
+        return (self.armed_cycle, self.armed_commits)
+
+
+def synth_never_result(
+    golden: GoldenRun, effect: Optional[FirstEffect] = None
+) -> InjectionResult:
+    """Result of a sticky fault whose forcing never bites.
+
+    :func:`first_effect_scan` proved the forcing is a no-op at every
+    cycle of the golden trajectory, so the faulty run *is* the golden
+    run: masked, golden's cycle/commit counts, armed exactly as the
+    from-scratch run would be (non-fetch stickies arm unconditionally
+    at cycle 0; a fetch sticky arms only if its way ever fetches) — at
+    zero faulty cycles.
+    """
+    armed = True if effect is None else effect.armed_cycle is not None
+    return InjectionResult(
+        outcome="masked",
+        cycles=max(golden.cycles, 1),
+        commits=golden.commits,
+        armed=armed,
+        simulated_cycles=0,
+        fork_cycle=0,
+        early_exit=True,
+        cycles_saved=golden.cycles,
+    )
+
+
+class _ScanProbe(FaultyArchState):
+    """Fault-free observer for :func:`first_effect_scan`.
+
+    A :class:`FaultyArchState` carrying a transient far beyond any
+    budget behaves exactly like the plain golden :class:`ArchState`
+    (the fault layer is observation-only while inactive) and lends the
+    scan its occupant-resolution helpers.  On top of that it watches
+    ``on_fetch`` for the scan's fetch stickies: per faulted way, the
+    first fetch through it (arming), and per fault, the first cycle the
+    forced PC bit changes a fetched PC (the first effect).
+    """
+
+    def __init__(self, config, fault, fetch_watch) -> None:
+        super().__init__(config, fault)
+        #: way -> list of (fault_index, FaultSpec) still unresolved.
+        self.fetch_watch: Dict[int, List[Tuple[int, FaultSpec]]] = (
+            fetch_watch
+        )
+        #: way -> (cycle, commits) of the first fetch through it.
+        self.fetch_arm: Dict[int, Tuple[int, int]] = {}
+        #: fault_index -> first cycle the forced PC differs.
+        self.fetch_bite: Dict[int, int] = {}
+
+    def on_fetch(self, core, instr: Instr, way: int, cycle: int) -> Instr:
+        watching = self.fetch_watch.get(way)
+        if watching is not None:
+            if way not in self.fetch_arm:
+                self.fetch_arm[way] = (cycle, self.commits)
+            pc = instr.pc
+            rest = []
+            for i, f in watching:
+                if ((pc & ~(1 << f.bit)) | (f.value << f.bit)) != pc:
+                    self.fetch_bite[i] = cycle
+                else:
+                    rest.append((i, f))
+            if len(rest) != len(watching):
+                if rest:
+                    self.fetch_watch[way] = rest
+                else:
+                    del self.fetch_watch[way]
+        return instr
+
+
+def first_effect_scan(
+    golden: GoldenRun, faults: List[FaultSpec]
+) -> Dict[int, FirstEffect]:
+    """First cycle each sticky fault's forcing would change state.
+
+    Replays the golden trajectory once (a fresh fault-free run of the
+    same deterministic simulation, observed at the top of every cycle —
+    exactly where :meth:`FaultyArchState.begin_cycle` applies its
+    forcing — and at every fetch) and evaluates, for every pending
+    sticky fault, whether forcing its site bit *right now* would change
+    machine state.
+
+    Returns ``{fault_index: FirstEffect}`` for every eligible fault —
+    stuck-ats with activation cycle 0, the campaign's entire sticky
+    population.  ``first=None`` means the forcing never bites: the
+    faulty run is the golden run (see :func:`synth_never_result`).  An
+    integer ``c`` licenses forking from any checkpoint at or before
+    ``c``: the forcing was a no-op at every earlier cycle, so the
+    faulty machine was bit-identical to golden throughout that prefix
+    (induction over equal states, no-op forcing, and a deterministic
+    step function).
+
+    Predicates mirror the fault layer's mutations exactly for
+    value-holding fields — with a register-liveness gate for the
+    register files (a free or in-flight-unreferenced register can never
+    reach a future read; see the module docstring) — and conservatively
+    for ``iq.ready`` (any occupant counts: its forcing also perturbs
+    issue arbitration through ``forced_ready``).  Conservatism can only
+    move a first-effect cycle *earlier* — costing replay cycles, never
+    correctness.
+    """
+    pending: Dict[int, FaultSpec] = {}
+    fetch_watch: Dict[int, List[Tuple[int, FaultSpec]]] = {}
+    fetch_sites: List[Tuple[int, int]] = []  # (fault_index, way)
+    result: Dict[int, FirstEffect] = {}
+    for i, f in enumerate(faults):
+        if f.kind != "stuckat" or f.cycle != 0:
+            continue
+        if f.site.struct == "fetch":
+            fetch_watch.setdefault(f.site.index, []).append((i, f))
+            fetch_sites.append((i, f.site.index))
+        else:
+            pending[i] = f
+            result[i] = FirstEffect(None)
+    if not pending and not fetch_sites:
+        return result
+    dummy = next(iter(faults))
+    probe = _ScanProbe(
+        golden.config,
+        FaultSpec(dummy.site, "transient", 0, 0, 1 << 60),
+        fetch_watch,
+    )
+    core = Core(golden.config, iter(golden.trace), arch=probe)
+    # Per-cycle memo of the in-flight register set (destinations and
+    # captured sources of live rename records) — only built on cycles
+    # where an allocated faulted register's forced bit differs.
+    live_memo = {"cycle": -1, "regs": ()}
+
+    def live_regs(cyc: int):
+        if live_memo["cycle"] != cyc:
+            s = set()
+            for rec in probe.info.values():
+                if rec.preg is not None:
+                    s.add((rec.cls, rec.preg))
+                for cls, p in rec.srcs:
+                    if cls >= 0:
+                        s.add((cls, p))
+            live_memo["cycle"] = cyc
+            live_memo["regs"] = s
+        return live_memo["regs"]
+
+    def bites(f: FaultSpec, cyc: int) -> bool:
+        site = f.site
+        struct = site.struct
+        b, v = f.bit, f.value
+        mask = 1 << b
+        if struct == "rob":
+            e = probe._rob_entry(core, site.index)
+            if e is None:
+                return False
+            if site.field == "done":
+                if v == 0:
+                    return e.done is not None
+                return e.done is None or e.done > cyc
+            info = probe.info.get(e.instr.seq)
+            if info is None or info.a_d is None:
+                return False
+            return (((info.a_d & ~mask) | (v << b)) & 0x1F) != info.a_d
+        if struct in ("iq_int", "iq_fp"):
+            e = probe._iq_entry(core, struct, site.index)
+            if e is None:
+                return False
+            if site.field == "ready":
+                return True  # conservative: occupant => effect
+            info = probe.info.get(e.instr.seq)
+            if info is None or not info.srcs:
+                return False
+            cls, p = info.srcs[0]
+            return cls >= 0 and ((p & ~mask) | (v << b)) != p
+        if struct == "lsq":
+            entries = core.lsq.entries
+            if site.index >= len(entries):
+                return False
+            blk = entries[site.index][2]
+            return ((blk & ~mask) | (v << b)) != blk
+        if struct in ("prf_int", "prf_fp"):
+            cls = 0 if struct == "prf_int" else 1
+            idx = site.index
+            cur = probe.prf[cls][idx]
+            if ((cur & ~mask) | (v << b)) == cur:
+                return False
+            # The forced bit differs — but corrupting a register no
+            # in-flight record can reach is invisible until the cell is
+            # reallocated and rewritten (which erases the corruption).
+            if idx in probe.free_set[cls]:
+                return False
+            return (cls, idx) in live_regs(cyc)
+        if struct in ("rmap_int", "rmap_fp"):
+            cur = probe.rmap[0 if struct == "rmap_int" else 1][site.index]
+            return cur is not None and ((cur & ~mask) | (v << b)) != cur
+        return True  # unknown structure: assume an immediate effect
+
+    def on_cycle(c: Core) -> bool:
+        cyc = c.cycle
+        bitten = None
+        for i, f in pending.items():
+            if bites(f, cyc):
+                result[i] = FirstEffect(cyc)
+                if bitten is None:
+                    bitten = []
+                bitten.append(i)
+        if bitten:
+            for i in bitten:
+                del pending[i]
+        return not pending and not probe.fetch_watch
+
+    core.run(
+        golden.n_instructions,
+        max_cycles=golden.cycles + BUDGET_SLACK,
+        on_cycle=on_cycle,
+    )
+    for i, way in fetch_sites:
+        arm = probe.fetch_arm.get(way)
+        bite = probe.fetch_bite.get(i)
+        if arm is None:
+            result[i] = FirstEffect(bite, None, 0)
+        else:
+            result[i] = FirstEffect(bite, arm[0], arm[1])
+    if TELEMETRY.enabled:
+        TELEMETRY.count("inject.scan_cycles", core.cycle)
+    return result
+
+
+class ReplaySession:
+    """One warm core reused across faults sharing a fork checkpoint.
+
+    The first fault restores the checkpoint with dirty tracking on;
+    every later fault re-targets the same live machine via
+    ``arch.reset_run`` + ``core.rearm`` — an O(dirty) undo of the
+    previous run instead of a fresh restore (counted as
+    ``inject.restore_reuses``).  Classifications are bit-identical to
+    per-fault :func:`run_with_fault` calls for any grouping.
+    """
+
+    def __init__(self, golden: GoldenRun, index: int) -> None:
+        self.golden = golden
+        self.index = index
+        self.fork_cycle = golden.arena.cycle_of(index)
+        # Pinned decoded snapshot: immune to arena LRU eviction for the
+        # session's lifetime (rearm re-reads it every fault).
+        self._snap: Optional[dict] = None
+        self.core: Optional[Core] = None
+        self.arch: Optional[FaultyArchState] = None
+        self.runs = 0
+
+    def run(
+        self,
+        fault: FaultSpec,
+        prearm: Optional[Tuple[int, int]] = None,
+    ) -> InjectionResult:
+        """Classify one fault on the session's warm core.
+
+        ``prearm=(cycle, commits)`` restores sticky arming bookkeeping
+        (see :meth:`FaultyArchState.prearm_sticky`) after positioning.
+        """
+        g = self.golden
+        if self.core is None:
+            self._snap = g.arena.get(self.index)
+            self.arch = FaultyArchState(g.config, fault, golden_log=g.log)
+            self.core = Core(g.config, iter(()), arch=self.arch)
+            self.core.restore(self._snap, g.trace, track=True)
+        else:
+            self.arch.reset_run(fault)
+            self.core.rearm(self._snap, g.trace)
+            if TELEMETRY.enabled:
+                TELEMETRY.count("inject.restore_reuses")
+        if prearm is not None:
+            self.arch.prearm_sticky(*prearm)
+        self.runs += 1
+        return _execute_and_classify(
+            g, fault, self.core, self.arch, self.fork_cycle, True
+        )

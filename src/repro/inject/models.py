@@ -155,7 +155,19 @@ def sample_faults(
 
 
 class FaultyArchState(ArchState):
-    """ArchState subclass that corrupts state per one :class:`FaultSpec`."""
+    """ArchState subclass that corrupts state per one :class:`FaultSpec`.
+
+    **``forced_ready`` aliasing.**  The core captures a reference to
+    this set at construction (``Core._forced``) and never re-reads the
+    attribute, so the set must only ever be mutated in place — cleared
+    at the top of every cycle by :meth:`begin_cycle` and by the
+    restore/rearm paths — never reassigned.  This matters for warm-core
+    group reuse: a fault that forced an issue-queue entry ready leaves
+    its sequence numbers in the shared set when the run stops, and the
+    next fault on the same restored core must not inherit them.
+    :meth:`reset_run` relies on the in-place clear to discharge them
+    (regression-tested in ``tests/test_grouped_replay.py``).
+    """
 
     def __init__(
         self,
@@ -175,6 +187,42 @@ class FaultyArchState(ArchState):
             "iq_fp": core.iq_fp_size // 2,
         }
         self._rob_size = core.rob_size
+
+    def reset_run(self, fault: FaultSpec) -> None:
+        """Re-target this observer at a new fault (warm-core reuse).
+
+        Clears every per-run harness field — arming state, stop/outcome
+        latches, divergence bookkeeping — and the shared
+        ``forced_ready`` set (in place; the core aliases it).  Machine
+        state itself is reverted separately by
+        :meth:`~repro.cpu.pipeline.Core.rearm`.
+        """
+        self.fault = fault
+        self.armed = False
+        self.armed_cycle = None
+        self.armed_commits = 0
+        self.stopped = False
+        self.outcome = None
+        self.detect_reason = None
+        self.detect_cycle = None
+        self.first_divergence = None
+        self.forced_ready.clear()
+
+    def prearm_sticky(self, cycle: int = 0, commits: int = 0) -> None:
+        """Restore a sticky fault's arming bookkeeping on a forked core.
+
+        A non-fetch stuck-at with activation cycle 0 arms
+        unconditionally on the very first ``begin_cycle`` — before
+        occupant resolution — so a from-scratch run always reports
+        ``armed_cycle = armed_commits = 0``; a fetch stuck-at arms at
+        its first fetch through the faulted way, which the first-effect
+        scan observes.  A run forked past the arming point must report
+        the same values, or detection latencies and corruption
+        distances would shift by the fork cycle.
+        """
+        self.armed = True
+        self.armed_cycle = cycle
+        self.armed_commits = commits
 
     # ------------------------------------------------------------------
     def _active(self, cycle: int) -> bool:
@@ -275,7 +323,13 @@ class FaultyArchState(ArchState):
                 entries[site.index] = (seq, is_store, self._bits(blk))
         elif struct in ("prf_int", "prf_fp"):
             cls = 0 if struct == "prf_int" else 1
-            self.prf[cls][site.index] = self._bits(self.prf[cls][site.index])
+            idx = site.index
+            j = self._jprf
+            if j is not None and (cls, idx) not in j:
+                # Fault writes journal like regular writes so a grouped
+                # rearm (warm-core reuse) can undo the corruption.
+                j[(cls, idx)] = self.prf[cls][idx]
+            self.prf[cls][idx] = self._bits(self.prf[cls][idx])
         elif struct in ("rmap_int", "rmap_fp"):
             cls = 0 if struct == "rmap_int" else 1
             cur = self.rmap[cls][site.index]

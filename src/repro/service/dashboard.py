@@ -3,9 +3,13 @@
 One self-contained page, no build step and no external assets: the
 browser polls the service's existing JSON endpoints (``GET /jobs`` for
 the job table, ``GET /metrics`` for queue depth and telemetry counters)
-every two seconds with ``fetch`` and re-renders two tables.  All
-rendering uses ``textContent``, so job ids, campaign names, and error
-strings are displayed verbatim without HTML injection.
+every two seconds with ``fetch`` and re-renders the tables.  When the
+telemetry snapshot carries ``inject.*`` counters, a dedicated
+injection-replay panel surfaces the suffix-replay economics — warm-core
+restore reuses, simulated cycles saved, scan-synthesized verdicts —
+ahead of the generic counter dump.  All rendering uses ``textContent``,
+so job ids, campaign names, and error strings are displayed verbatim
+without HTML injection.
 
 The page is deliberately read-only — submission stays on ``POST /jobs``
 (``repro submit``) so the dashboard adds zero new server-side state or
@@ -45,10 +49,21 @@ DASHBOARD_HTML = """\
   <th>shards</th><th>error</th></tr></thead>
   <tbody></tbody>
 </table>
+<h2 id="replay-h" hidden>injection replay</h2>
+<table id="replay" hidden><tbody></tbody></table>
 <h2>metrics</h2>
 <table id="metrics"><tbody></tbody></table>
 <script>
 "use strict";
+const REPLAY_ROWS = [
+  ["inject.restore_reuses", "warm-core restore reuses"],
+  ["inject.cycles_saved", "simulated cycles saved"],
+  ["inject.scan_skips", "scan-synthesized verdicts"],
+  ["inject.early_exits", "reconvergence early exits"],
+  ["inject.fork_restores", "checkpoint fork restores"],
+  ["inject.sim_cycles", "faulty cycles simulated"],
+  ["inject.golden_cache_hits", "golden-prefix cache hits"],
+];
 function row(cells, cls) {
   const tr = document.createElement("tr");
   for (const text of cells) {
@@ -83,6 +98,20 @@ function flat(prefix, value, out) {
     out.push([prefix, JSON.stringify(value)]);
   }
 }
+function renderReplay(payload) {
+  const counters = (payload.metrics || {}).counters || {};
+  const body = document.querySelector("#replay tbody");
+  body.replaceChildren();
+  let any = false;
+  for (const [key, label] of REPLAY_ROWS) {
+    if (key in counters) {
+      any = true;
+      body.appendChild(row([label, counters[key].toLocaleString()]));
+    }
+  }
+  document.getElementById("replay-h").hidden = !any;
+  document.getElementById("replay").hidden = !any;
+}
 function renderMetrics(payload) {
   const body = document.querySelector("#metrics tbody");
   body.replaceChildren();
@@ -98,6 +127,7 @@ async function poll() {
       fetch("/metrics").then(r => r.json()),
     ]);
     renderJobs(jobs);
+    renderReplay(metrics);
     renderMetrics(metrics);
     document.getElementById("error").textContent = "";
   } catch (exc) {

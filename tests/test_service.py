@@ -224,6 +224,10 @@ class TestServiceApi:
             # The page only polls routes the server actually exposes.
             assert 'fetch("/jobs")' in html
             assert 'fetch("/metrics")' in html
+            # The injection-replay panel surfaces the suffix-replay
+            # economics from the telemetry counters.
+            assert "inject.restore_reuses" in html
+            assert "inject.cycles_saved" in html
             # Unknown paths still 404 as JSON, not the dashboard.
             with pytest.raises(ServiceError) as err:
                 client._request("GET", "/nonesuch")
