@@ -13,6 +13,10 @@ Thin wrappers over the library for the common flows:
   core with masked/SDC/detected/hang classification;
 - ``repro decide`` — Pareto decision support: rank all 64 map-out
   configurations on (YAT, IPC, residual SDC, area saved);
+- ``repro lint`` — gate-level ICI check with stable violation ids
+  (``--json`` for machine-readable reports; exit 0 clean, 1 violations);
+- ``repro repair`` — search, verify, and emit the cheapest patch plan
+  for every lint violation (``--apply`` writes the patched Verilog);
 - ``repro run`` — the sharded campaign runner (``--workers N`` processes,
   ``--resume`` to continue from ``.repro_cache/`` checkpoints);
 - ``repro serve`` — the long-lived HTTP campaign service (job submission,
@@ -158,7 +162,10 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     builder = build_baseline_rtl if args.baseline else build_rescue_rtl
     model = builder(params)
     report = check_netlist_ici(model.netlist, exempt_blocks=["chipkill"])
-    print(report.describe())
+    if args.json:
+        print(json.dumps(report.to_json(), indent=2))
+    else:
+        print(report.describe())
     return 0 if report.satisfied else 1
 
 
@@ -215,6 +222,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     )
     if args.campaign == "decide":
         return _cmd_decide(args)
+    if args.campaign == "repair":
+        return _cmd_repair(args)
     if args.campaign == "isolation":
         spec = IsolationSpec(
             tiny=args.tiny,
@@ -397,6 +406,68 @@ def _cmd_decide(args: argparse.Namespace) -> int:
     return 0 if result.front else 1
 
 
+def _repair_spec(args: argparse.Namespace):
+    from repro.repair import RepairSpec
+
+    # `repro repair` and `repro run repair` share this builder; the run
+    # parser lacks the break/oracle flags, so fall back to spec defaults.
+    return RepairSpec(
+        model=getattr(args, "model", "baseline"),
+        tiny=args.tiny,
+        n_breaks=getattr(args, "breaks", 2),
+        break_seed=getattr(args, "break_seed", 5),
+        n_patterns=getattr(args, "patterns", None) or 192,
+        n_isolation_faults=getattr(args, "isolation_faults", 6),
+        seed=args.seed,
+        chunk_size=args.chunk_size or 2,
+    )
+
+
+def _cmd_repair(args: argparse.Namespace) -> int:
+    from repro.repair import patch_model, run_repair
+
+    spec = _repair_spec(args)
+    result = run_repair(
+        spec,
+        workers=args.workers,
+        resume=args.resume,
+        checkpoint=not args.no_checkpoint,
+        cache_root=args.cache_dir,
+        progress=_progress_printer("repair"),
+    )
+    print(result.summary())
+    prefix = getattr(args, "apply", None)
+    if prefix:
+        from dataclasses import asdict
+
+        from repro.netlist.verilog import to_verilog
+
+        patched, log = patch_model(spec, result.actions)
+        vpath = f"{prefix}.v"
+        with open(vpath, "w") as f:
+            f.write(to_verilog(patched, module_name="repaired_core",
+                               scan=False))
+        ppath = f"{prefix}.plan.json"
+        with open(ppath, "w") as f:
+            json.dump(
+                {
+                    "campaign": "repair",
+                    "spec": asdict(spec),
+                    "result": result.to_json(),
+                    "transform_log": log,
+                },
+                f,
+                indent=2,
+            )
+        print(f"wrote {vpath} and {ppath}", file=sys.stderr)
+    ok = (
+        result.patched_satisfied
+        and result.equivalent
+        and not result.unrepaired
+    )
+    return 0 if ok else 1
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import threading
 
@@ -565,11 +636,73 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_graph)
 
     p = sub.add_parser(
-        "lint", help="gate-level ICI check of a pipeline model"
+        "lint",
+        help="gate-level ICI check of a pipeline model",
+        description=(
+            "Check every observation flop's combinational fan-in cone "
+            "for intra-cycle independence.  Exit codes: 0 when the "
+            "model is clean, 1 when violations remain, 2 on usage "
+            "errors.  --json emits the structured report (stable "
+            "violation ids usable as `repro repair` plan keys)."
+        ),
     )
     p.add_argument("--tiny", action="store_true")
     p.add_argument("--baseline", action="store_true")
+    p.add_argument("--json", action="store_true",
+                   help="print the machine-readable report (stable "
+                        "violation ids) instead of prose")
     p.set_defaults(func=_cmd_lint)
+
+    p = sub.add_parser(
+        "repair",
+        help="search + verify ICI repair patches for a pipeline model",
+        description=(
+            "Run the sharded auto-repair campaign: lint the model, "
+            "search candidate patches (relabel / cone redrive / latch "
+            "staging) for every violation, verify each candidate with "
+            "the three-stage oracle (netcheck, bit-exact packed "
+            "equivalence, stuck-at isolation sample), and emit the "
+            "area-minimal verified plan.  Exit 0 when every violation "
+            "is repaired and the composed patch verifies; 1 otherwise. "
+            "The plan is bit-identical for any --workers/--chunk-size "
+            "and --resume continues from checkpoints."
+        ),
+    )
+    p.add_argument("--model", choices=("baseline", "rescue",
+                                       "rescue-broken"),
+                   default="baseline",
+                   help="target: the non-ICI baseline RTL (default), "
+                        "the clean Rescue RTL, or Rescue with seeded "
+                        "latch-bypass breaks")
+    p.add_argument("--tiny", action="store_true",
+                   help="use the small model (fast)")
+    p.add_argument("--breaks", type=int, default=2,
+                   help="latch bypasses seeded into rescue-broken "
+                        "(default 2)")
+    p.add_argument("--break-seed", type=int, default=5)
+    p.add_argument("--patterns", type=int, default=192,
+                   help="equivalence-screen patterns per candidate "
+                        "(default 192)")
+    p.add_argument("--isolation-faults", type=int, default=6,
+                   help="stuck-at faults sampled per candidate "
+                        "(default 6)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--apply", default=None, metavar="PREFIX",
+                   help="write the patched model to PREFIX.v and the "
+                        "plan + transform log to PREFIX.plan.json")
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes (default 1 = in-process)")
+    p.add_argument("--chunk-size", type=int, default=None,
+                   help="violations per shard (default 2)")
+    p.add_argument("--resume", action="store_true",
+                   help="reuse completed shards from the checkpoint store")
+    p.add_argument("--no-checkpoint", action="store_true",
+                   help="do not write shard checkpoints")
+    p.add_argument("--cache-dir", default=None,
+                   help="checkpoint root (default .repro_cache or "
+                        "$REPRO_CACHE_DIR)")
+    add_trace_flag(p)
+    p.set_defaults(func=_cmd_repair)
 
     p = sub.add_parser(
         "inject",
@@ -666,7 +799,8 @@ def build_parser() -> argparse.ArgumentParser:
              "montecarlo: chip-sampling YAT check (§6.3); "
              "ipc: degraded-configuration IPC sweep (Figure 9); "
              "inject: architectural fault injection / SDC classification; "
-             "decide: Pareto ranking of the 64 map-out configurations",
+             "decide: Pareto ranking of the 64 map-out configurations; "
+             "repair: verified ICI patch search over a lint report",
     )
     p.add_argument("--workers", type=int, default=1,
                    help="worker processes (default 1 = in-process)")
@@ -701,6 +835,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="simulate all 64 configs instead of composing")
     p.add_argument("--top", type=int, default=10,
                    help="ranked configurations to print (decide only)")
+    # repair knobs (break/oracle settings take spec defaults)
+    p.add_argument("--model", choices=("baseline", "rescue",
+                                       "rescue-broken"),
+                   default="baseline",
+                   help="repair target model (repair only)")
     add_trace_flag(p)
     p.set_defaults(func=_cmd_run)
 

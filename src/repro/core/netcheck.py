@@ -15,8 +15,19 @@ or rotation.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.netlist.netlist import Netlist
 
@@ -34,11 +45,42 @@ class ConeViolation:
     blocks: Tuple[str, ...]
     example_gates: Tuple[int, ...]
 
+    @property
+    def vid(self) -> str:
+        """Stable violation id: a hash of (observer, cone blocks).
+
+        Independent of gate numbering and violation ordering, so reruns
+        of the checker — and the repair subsystem's plans — refer to the
+        same violation by the same id.
+        """
+        text = f"{self.observer}|{self.observer_block}|" + ",".join(
+            sorted(self.blocks)
+        )
+        return "ici-" + hashlib.sha1(text.encode()).hexdigest()[:10]
+
     def describe(self) -> str:
         return (
             f"{self.observer} (block {self.observer_block or '?'}) reads "
             f"in-cycle from blocks {', '.join(self.blocks)}; e.g. gates "
             f"{list(self.example_gates)}"
+        )
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "id": self.vid,
+            "observer": self.observer,
+            "observer_block": self.observer_block,
+            "blocks": list(self.blocks),
+            "example_gates": list(self.example_gates),
+        }
+
+    @classmethod
+    def from_json(cls, d: Mapping[str, Any]) -> "ConeViolation":
+        return cls(
+            observer=d["observer"],
+            observer_block=d["observer_block"],
+            blocks=tuple(d["blocks"]),
+            example_gates=tuple(d["example_gates"]),
         )
 
 
@@ -66,6 +108,29 @@ class NetIciReport:
         if len(self.violations) > 8:
             lines.append(f"  ... and {len(self.violations) - 8} more")
         return "\n".join(lines)
+
+    def to_json(self) -> Dict[str, Any]:
+        """Machine-readable report (the format ``repro repair`` consumes).
+
+        ``cone_blocks`` is omitted — it scales with the flop count and is
+        derivable by rerunning the checker; the violation list with
+        stable ids is the contract.
+        """
+        return {
+            "satisfied": self.satisfied,
+            "checked_observers": self.checked_observers,
+            "violations": [v.to_json() for v in self.violations],
+        }
+
+    @classmethod
+    def from_json(cls, d: Mapping[str, Any]) -> "NetIciReport":
+        return cls(
+            satisfied=bool(d["satisfied"]),
+            violations=[
+                ConeViolation.from_json(v) for v in d["violations"]
+            ],
+            checked_observers=int(d["checked_observers"]),
+        )
 
 
 def check_netlist_ici(

@@ -260,7 +260,8 @@ def _inject_init(spec: InjectionSpec) -> None:
     if _INJECT.get("spec") == spec and "golden" in _INJECT:
         return
     from repro.inject.goldencache import (
-        golden_key, load_golden, store_golden,
+        golden_key, load_golden, load_scan, scan_key, store_golden,
+        store_scan,
     )
     from repro.inject.harness import run_golden
     from repro.inject.models import sample_faults
@@ -306,7 +307,21 @@ def _inject_init(spec: InjectionSpec) -> None:
     if spec.fork and spec.first_effect:
         from repro.inject.harness import first_effect_scan
 
-        first_effect = first_effect_scan(golden, faults)
+        skey = None
+        cached = None
+        if spec.golden_cache:
+            skey = scan_key(
+                key, len(faults), spec.seed, spec.model, spec.blocks,
+                spec.sampling,
+            )
+            cached = load_scan(skey, len(faults))
+        if cached is not None:
+            first_effect = cached
+            TELEMETRY.count("inject.scan_cache_hits")
+        else:
+            first_effect = first_effect_scan(golden, faults)
+            if skey is not None:
+                store_scan(first_effect, skey, len(faults))
     _INJECT.clear()
     _INJECT.update(
         spec=spec, golden=golden, faults=faults,

@@ -26,6 +26,14 @@ site profile.  Config and trace are cheap to reconstruct and are
 re-attached on load, which keeps the file self-validating — a payload
 whose totals do not match the requesting campaign is treated as a
 miss.  Convergence views are derived data and rebuild lazily.
+
+The sticky-fault **first-effect scan** caches beside the golden prefix
+(``scan-<key>.pkl``) under the same contract: its key extends
+:func:`golden_key` with everything that determines the fault sample
+(count, seed, fault model, block filter, sampling mode), it shares
+:data:`GOLDEN_CACHE_VERSION` (scan results replay against cached
+checkpoints, so the two must invalidate together), and a payload whose
+fault count disagrees with the requesting campaign is a miss.
 """
 
 from __future__ import annotations
@@ -105,6 +113,87 @@ def load_golden(
         checkpoint_interval=payload["checkpoint_interval"],
         profile=payload["profile"],
     )
+
+
+def scan_key(
+    golden: str,
+    n_faults: int,
+    seed: int,
+    model: str,
+    blocks,
+    sampling: str,
+) -> str:
+    """Cache key over everything that determines the first-effect scan.
+
+    ``golden`` is the :func:`golden_key` string — the scan is a pure
+    function of the golden run plus the fault sample, so the golden key
+    (which already folds in :data:`GOLDEN_CACHE_VERSION`) anchors it.
+    """
+    return config_hash(
+        {
+            "golden_version": GOLDEN_CACHE_VERSION,
+            "golden": golden,
+            "n_faults": n_faults,
+            "seed": seed,
+            "model": model,
+            "blocks": None if blocks is None else list(blocks),
+            "sampling": sampling,
+        }
+    )
+
+
+def scan_cache_path(key: str, root: Optional[Path] = None) -> Path:
+    """On-disk location of the first-effect scan entry for ``key``."""
+    base = Path(root) if root is not None else default_cache_root()
+    return base / f"scan-{key}.pkl"
+
+
+def load_scan(key: str, n_faults: int, root: Optional[Path] = None):
+    """Cached first-effect dict (fault index -> FirstEffect) or None.
+
+    Any read/unpickle failure, version skew, or fault-count mismatch is
+    a miss — the caller re-scans and overwrites the entry.
+    """
+    path = scan_cache_path(key, root)
+    try:
+        payload = pickle.loads(path.read_bytes())
+    except Exception:
+        return None
+    if (
+        not isinstance(payload, dict)
+        or payload.get("version") != GOLDEN_CACHE_VERSION
+        or payload.get("n_faults") != n_faults
+    ):
+        return None
+    return payload["scan"]
+
+
+def store_scan(
+    scan, key: str, n_faults: int, root: Optional[Path] = None
+) -> None:
+    """Atomically persist one first-effect scan under ``key``.
+
+    Best-effort, like :func:`store_golden`: an unwritable cache
+    directory degrades to a no-op, never to a failed campaign.
+    """
+    path = scan_cache_path(key, root)
+    payload = {
+        "version": GOLDEN_CACHE_VERSION,
+        "n_faults": n_faults,
+        "scan": scan,
+    }
+    tmp = path.with_suffix(f".tmp.{os.getpid()}")
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp.write_bytes(
+            pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        )
+        os.replace(tmp, path)
+    except OSError:
+        try:
+            tmp.unlink()
+        except OSError:
+            pass
 
 
 def store_golden(golden, key: str, root: Optional[Path] = None) -> None:

@@ -106,6 +106,54 @@ class Netlist:
         return flop
 
     # ------------------------------------------------------------------
+    # Surgical edits (the repair subsystem's patch primitives)
+    # ------------------------------------------------------------------
+    def rewire_gate(self, gid: int, inputs: Sequence[int]) -> None:
+        """Re-point gate ``gid``'s input pins; type and output stay."""
+        g = self.gates[gid]
+        for net in inputs:
+            self._check_net(net)
+        self.gates[gid] = Gate(
+            gid=g.gid,
+            gtype=g.gtype,
+            inputs=tuple(inputs),
+            output=g.output,
+            component=g.component,
+        )
+        self._invalidate()
+
+    def set_flop_d(self, fid: int, d_net: int) -> None:
+        """Re-point flop ``fid``'s D input to ``d_net``."""
+        self._check_net(d_net)
+        self.flops[fid].d_net = d_net
+        self._invalidate()
+
+    def copy(self, name: Optional[str] = None) -> "Netlist":
+        """Independent copy; edits to either netlist leave the other alone.
+
+        Gates are immutable and shared; flops (mutable) are duplicated.
+        """
+        out = Netlist(name or self.name)
+        out.n_nets = self.n_nets
+        out.net_names = dict(self.net_names)
+        out.gates = list(self.gates)
+        out.flops = [
+            Flop(
+                fid=f.fid,
+                d_net=f.d_net,
+                q_net=f.q_net,
+                name=f.name,
+                component=f.component,
+                scan=f.scan,
+                scan_index=f.scan_index,
+            )
+            for f in self.flops
+        ]
+        out.primary_inputs = list(self.primary_inputs)
+        out.primary_outputs = list(self.primary_outputs)
+        return out
+
+    # ------------------------------------------------------------------
     # Structure queries
     # ------------------------------------------------------------------
     def driver_of(self, net: int) -> Optional[int]:

@@ -1,0 +1,199 @@
+"""Component-graph repair planning over ``repro.core.transforms``.
+
+The netlist campaign patches gates; this module is the same search one
+abstraction level up, where the paper's own transformations live.  For
+every intra-cycle edge :func:`~repro.core.checker.ici_violations` flags,
+the planner tries each applicable transformation:
+
+- :func:`~repro.core.transforms.cycle_split` — latch the edge in place
+  (one pipeline stage, no area),
+- :func:`~repro.core.transforms.buffer` — stage it through a producer-
+  owned buffer component (one stage plus a little area),
+- :func:`~repro.core.transforms.duplicate` — per-reader copies of the
+  producer, re-homed into each reader's group (area, no latency),
+- :func:`~repro.core.transforms.dependence_rotation` — move the latch
+  around the consumer (free, but only legal when it breaks no other
+  invariant).
+
+Each candidate is verified by the graph oracle — the targeted edge is
+discharged, no new violation appears, and the intra-cycle edges stay
+acyclic — then scored by ``extra_area + latency_weight * extra_latency``
+and the cheapest verified candidate is applied.  Violations are fixed
+in deterministic (sorted-edge) order, re-checking after each step, so
+the plan is reproducible and each step's oracle sees the true current
+graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.checker import ici_violations
+from repro.core.component import ComponentGraph, Edge
+from repro.core.transforms import (
+    TransformRecord,
+    buffer,
+    cycle_split,
+    dependence_rotation,
+    duplicate,
+)
+from repro.telemetry import TELEMETRY
+
+#: Graph-level candidate kinds in generation order.
+GRAPH_KINDS = ("cycle_split", "buffer", "duplicate", "dependence_rotation")
+
+
+@dataclass
+class GraphRepairStep:
+    """One chosen transformation and the candidates it beat."""
+
+    edge: Tuple[str, str]
+    record: TransformRecord
+    cost: float
+    considered: List[Tuple[str, float]] = field(default_factory=list)
+    rejected: List[Tuple[str, str]] = field(default_factory=list)
+    graph: Optional[ComponentGraph] = None  # the graph after this step
+
+
+@dataclass
+class GraphRepairPlan:
+    """Outcome of planning one graph to ICI-cleanliness."""
+
+    steps: List[GraphRepairStep] = field(default_factory=list)
+    unrepaired: List[Tuple[str, str]] = field(default_factory=list)
+    graph: Optional[ComponentGraph] = None
+
+    @property
+    def satisfied(self) -> bool:
+        return not self.unrepaired
+
+    @property
+    def extra_area(self) -> float:
+        return sum(s.record.extra_area for s in self.steps)
+
+    @property
+    def extra_latency(self) -> int:
+        return sum(s.record.extra_latency for s in self.steps)
+
+
+def _candidates(
+    graph: ComponentGraph, edge: Edge
+) -> List[Tuple[str, ComponentGraph, TransformRecord]]:
+    """Every applicable transformation for one violating edge."""
+    out: List[Tuple[str, ComponentGraph, TransformRecord]] = []
+    for kind in GRAPH_KINDS:
+        try:
+            if kind == "cycle_split":
+                g, rec = cycle_split(graph, edge.src, edge.dst)
+            elif kind == "buffer":
+                g, rec = buffer(graph, edge.src, edge.dst)
+            elif kind == "duplicate":
+                g, rec = duplicate(graph, edge.src)
+            else:
+                g, rec = dependence_rotation(
+                    graph, [edge.dst], loop=[edge.src, edge.dst]
+                )
+        except (ValueError, KeyError):
+            continue
+        out.append((kind, g, rec))
+    return out
+
+
+def plan_graph_repairs(
+    graph: ComponentGraph,
+    partition: Optional[Dict[str, str]] = None,
+    latency_weight: float = 2.0,
+) -> GraphRepairPlan:
+    """Fix every ICI violation with the cheapest verified transformation.
+
+    Args:
+        graph: input design (not mutated).
+        partition: component → group override (default: declared groups).
+        latency_weight: area-equivalents charged per added pipeline
+            stage when scoring candidates.
+
+    Returns:
+        The plan; ``plan.graph`` is the transformed graph and
+        ``plan.satisfied`` is True when no violation survives.
+    """
+    current = graph.copy()
+    plan = GraphRepairPlan()
+    with TELEMETRY.span("repair.graph_plan"):
+        while True:
+            violations = ici_violations(current, partition)
+            pending = [
+                e for e in violations
+                if (e.src, e.dst) not in plan.unrepaired
+            ]
+            if not pending:
+                break
+            edge = pending[0]
+            step = _plan_edge(
+                current, edge, violations, partition, latency_weight
+            )
+            if step is None:
+                plan.unrepaired.append((edge.src, edge.dst))
+                continue
+            plan.steps.append(step)
+            current = step.graph
+            if TELEMETRY.enabled:
+                TELEMETRY.count("repair.graph_steps")
+    plan.graph = current
+    return plan
+
+
+def _plan_edge(
+    graph: ComponentGraph,
+    edge: Edge,
+    violations: Sequence[Edge],
+    partition: Optional[Dict[str, str]],
+    latency_weight: float,
+) -> Optional[GraphRepairStep]:
+    """Pick the cheapest verified candidate for one violating edge."""
+    before = {(e.src, e.dst) for e in violations}
+    was_acyclic = graph.comb_is_acyclic()
+    best: Optional[GraphRepairStep] = None
+    considered: List[Tuple[str, float]] = []
+    rejected: List[Tuple[str, str]] = []
+    for kind, g, rec in _candidates(graph, edge):
+        if TELEMETRY.enabled:
+            TELEMETRY.count("repair.graph_candidates")
+        reason = _graph_oracle(g, edge, before, partition, was_acyclic)
+        if reason is not None:
+            rejected.append((kind, reason))
+            continue
+        cost = rec.extra_area + latency_weight * rec.extra_latency
+        considered.append((kind, cost))
+        if best is None or (cost, kind) < (best.cost, best.record.kind):
+            best = GraphRepairStep(
+                edge=(edge.src, edge.dst), record=rec, cost=cost, graph=g
+            )
+    if best is not None:
+        best.considered = considered
+        best.rejected = rejected
+    return best
+
+
+def _graph_oracle(
+    g: ComponentGraph,
+    edge: Edge,
+    before: set,
+    partition: Optional[Dict[str, str]],
+    was_acyclic: bool = True,
+) -> Optional[str]:
+    """None when the candidate graph verifies, else the rejection reason.
+
+    Acyclicity is a no-regression check: a graph that starts with a
+    combinational loop (the baseline's IQ compaction loop) may keep it,
+    but no candidate may *introduce* one.
+    """
+    if was_acyclic and not g.comb_is_acyclic():
+        return "combinational loop"
+    after = {(e.src, e.dst) for e in ici_violations(g, partition)}
+    if (edge.src, edge.dst) in after:
+        return "violation survives"
+    fresh = after - before
+    if fresh:
+        return f"introduces {sorted(fresh)[:2]}"
+    return None

@@ -1,7 +1,7 @@
 """Uniform campaign registry: one descriptor per runnable campaign.
 
-The five registered campaigns (isolation, montecarlo, ipc, inject,
-decide) share the runner recipe — a frozen spec dataclass, a ``run_*`` entry point with the
+The six registered campaigns (isolation, montecarlo, ipc, inject,
+decide, repair) share the runner recipe — a frozen spec dataclass, a ``run_*`` entry point with the
 ``(spec, *, workers, resume, checkpoint, cache_root, store, progress)``
 signature, and a JSON-serializable merged result — but until now each
 caller (the CLI, tests, benchmarks) hard-coded the per-campaign imports
@@ -201,6 +201,12 @@ def _decide_from_json(payload):
     return DecideResult.from_json(payload)
 
 
+def _repair_from_json(payload):
+    from repro.repair.campaign import RepairResult
+
+    return RepairResult.from_json(payload)
+
+
 #: name -> (to_json, from_json, summarize)
 _CODECS: Dict[str, Tuple[Callable, Callable, Callable]] = {
     "isolation": (
@@ -222,6 +228,11 @@ _CODECS: Dict[str, Tuple[Callable, Callable, Callable]] = {
     "decide": (
         lambda r: r.to_json(),
         _decide_from_json,
+        lambda r: r.summary(),
+    ),
+    "repair": (
+        lambda r: r.to_json(),
+        _repair_from_json,
         lambda r: r.summary(),
     ),
 }
@@ -263,6 +274,13 @@ REGISTRY: Dict[str, CampaignEntry] = {
         spec_name="DecideSpec",
         run_name="run_decide",
         store_name="decide",
+    ),
+    "repair": CampaignEntry(
+        name="repair",
+        module="repro.repair.campaign",
+        spec_name="RepairSpec",
+        run_name="run_repair",
+        store_name="repair",
     ),
 }
 

@@ -23,7 +23,8 @@ class TestParser:
         # documented in `repro run --help`.
         parser = build_parser()
         assert set(RUN_CAMPAIGNS) == {
-            "isolation", "montecarlo", "ipc", "inject", "decide"
+            "isolation", "montecarlo", "ipc", "inject", "decide",
+            "repair",
         }
         for name in RUN_CAMPAIGNS:
             args = parser.parse_args(["run", name])

@@ -40,9 +40,9 @@ def mc_direct():
 # ----------------------------------------------------------------------
 
 class TestRegistry:
-    def test_all_five_campaigns_registered(self):
+    def test_all_six_campaigns_registered(self):
         assert tuple(REGISTRY) == ("isolation", "montecarlo", "ipc",
-                                   "inject", "decide")
+                                   "inject", "decide", "repair")
 
     def test_make_spec_fills_defaults_and_coerces_tuples(self):
         entry = get_campaign("inject")
@@ -108,6 +108,29 @@ class TestRegistry:
                 DecideSpec(benchmarks=("gzip",)),
                 measured,
                 InjectionStats(),
+            )
+        elif name == "repair":
+            from repro.repair import RepairAction, RepairResult
+
+            result = RepairResult(
+                model="baseline",
+                n_observers=10,
+                violations=[{
+                    "id": "ici-0011223344", "observer": "f[0]",
+                    "observer_block": "iq", "blocks": ["iq", "lsq"],
+                    "candidates": [{
+                        "kind": "redrive", "verified": True,
+                        "stage": "verified", "reason": "",
+                        "extra_area": 4.0, "note": "",
+                    }],
+                }],
+                actions=[RepairAction(
+                    vid="ici-0011223344", observer="f[0]",
+                    observer_block="iq", kind="redrive", extra_area=4.0,
+                )],
+                base_area=100.0,
+                extra_area=4.0,
+                n_patterns=64,
             )
         else:
             from repro.inject.campaign import InjectionStats
